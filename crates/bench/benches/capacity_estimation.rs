@@ -1,0 +1,91 @@
+//! Criterion bench: the per-subframe cost of the PBE-CC measurement path —
+//! monitor ingest, capacity estimation (Eqns. 1–4) and the Eqn. 5 rate
+//! translation.  The paper argues these fit comfortably in a 1 ms budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbe_cellular::config::{CellId, Rnti};
+use pbe_cellular::dci::{DciFormat, DciMessage};
+use pbe_cellular::mcs::McsIndex;
+use pbe_core::capacity::CapacityEstimator;
+use pbe_core::translate::RateTranslator;
+use pbe_pdcch::fusion::FusedSubframe;
+use pbe_pdcch::monitor::{CellStatusMonitor, MonitorConfig};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn dci(rnti: u16, prbs: u16, subframe: u64) -> DciMessage {
+    DciMessage {
+        cell: CellId(0),
+        subframe,
+        rnti: Rnti(rnti),
+        format: DciFormat::Format1,
+        first_prb: 0,
+        num_prbs: prbs,
+        mcs: McsIndex(18),
+        spatial_streams: 2,
+        new_data_indicator: true,
+        harq_process: 0,
+        tbs_bits: u32::from(prbs) * 1100,
+    }
+}
+
+fn fused(subframe: u64, n_users: u16) -> FusedSubframe {
+    let msgs: Vec<DciMessage> = (0..n_users)
+        .map(|u| dci(0x100 + u, 100 / n_users.max(1), subframe))
+        .collect();
+    let mut per_cell = HashMap::new();
+    per_cell.insert(CellId(0), msgs);
+    FusedSubframe { subframe, per_cell }
+}
+
+fn bench_monitor_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_ingest");
+    for users in [1u16, 8, 28] {
+        group.bench_function(format!("{users}_users"), |b| {
+            let mut monitor =
+                CellStatusMonitor::new(MonitorConfig::new(Rnti(0x100), vec![(CellId(0), 100)]));
+            let mut sf = 0u64;
+            b.iter(|| {
+                monitor.ingest(black_box(&fused(sf, users)));
+                sf += 1;
+                black_box(monitor.snapshot(CellId(0)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_capacity_equations(c: &mut Criterion) {
+    let mut monitor = CellStatusMonitor::new(MonitorConfig::new(Rnti(0x100), vec![(CellId(0), 100)]));
+    for sf in 0..40u64 {
+        monitor.ingest(&fused(sf, 8));
+    }
+    let snapshots = monitor.snapshots();
+    let estimator = CapacityEstimator::new();
+    c.bench_function("capacity_estimate_eqn_1_to_4", |b| {
+        b.iter(|| black_box(estimator.estimate(black_box(&snapshots))))
+    });
+}
+
+fn bench_rate_translation(c: &mut Criterion) {
+    let mut table = RateTranslator::default();
+    let exact = RateTranslator::default();
+    c.bench_function("eqn5_translation_lookup_table", |b| {
+        let mut cp = 10_000.0;
+        b.iter(|| {
+            cp = if cp > 150_000.0 { 10_000.0 } else { cp + 500.0 };
+            black_box(table.translate(black_box(cp), 2e-6))
+        })
+    });
+    c.bench_function("eqn5_translation_exact_bisection", |b| {
+        b.iter(|| black_box(exact.translate_exact(black_box(90_000.0), 2e-6)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_monitor_ingest,
+    bench_capacity_equations,
+    bench_rate_translation
+);
+criterion_main!(benches);

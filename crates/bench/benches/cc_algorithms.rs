@@ -1,0 +1,55 @@
+//! Criterion bench: per-ACK processing cost of every congestion-control
+//! scheme, including the PBE-CC sender.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbe_cc_algorithms::api::{AckInfo, CongestionControl, PbeFeedback, SchemeName, MSS_BYTES};
+use pbe_cc_algorithms::baseline_by_name;
+use pbe_core::sender::PbeSender;
+use pbe_stats::time::{Duration, Instant};
+use std::hint::black_box;
+
+fn ack(i: u64, with_pbe: bool) -> AckInfo {
+    AckInfo {
+        now: Instant::from_millis(i),
+        packet_id: i,
+        bytes_acked: MSS_BYTES,
+        rtt: Duration::from_millis(40 + (i % 7)),
+        one_way_delay_ms: 20.0 + (i % 5) as f64,
+        delivery_rate_bps: 30e6 + (i % 11) as f64 * 1e5,
+        inflight_bytes: 150_000,
+        loss_detected: false,
+        pbe: with_pbe.then(|| PbeFeedback {
+            capacity_interval_us: PbeFeedback::interval_from_rate(45e6),
+            internet_bottleneck: false,
+            fair_share_rate_bps: 45e6,
+        }),
+    }
+}
+
+fn bench_on_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_ack");
+    for name in SchemeName::BASELINES {
+        group.bench_function(name.as_str(), |b| {
+            let mut cc = baseline_by_name(*name, Duration::from_millis(40));
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                cc.on_ack(black_box(&ack(i, false)));
+                black_box(cc.pacing_rate_bps())
+            })
+        });
+    }
+    group.bench_function("PBE", |b| {
+        let mut cc = PbeSender::with_defaults(Duration::from_millis(40));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cc.on_ack(black_box(&ack(i, true)));
+            black_box(cc.pacing_rate_bps())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_ack);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: blind decoding of one subframe's control channel
+//! (the per-subframe work the paper's USRP + PC platform performs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbe_cellular::config::{CellId, Rnti};
+use pbe_cellular::dci::{DciFormat, DciMessage};
+use pbe_cellular::mcs::McsIndex;
+use pbe_pdcch::decoder::{ControlChannelDecoder, DecoderConfig};
+use pbe_stats::DetRng;
+use std::hint::black_box;
+
+fn messages(n: u16, subframe: u64) -> Vec<DciMessage> {
+    (0..n)
+        .map(|u| DciMessage {
+            cell: CellId(0),
+            subframe,
+            rnti: Rnti(0x100 + u),
+            format: if u % 2 == 0 { DciFormat::Format1 } else { DciFormat::Format2 },
+            first_prb: u * 4,
+            num_prbs: 4,
+            mcs: McsIndex(12),
+            spatial_streams: 1 + (u % 2) as u8,
+            new_data_indicator: true,
+            harq_process: (u % 8) as u8,
+            tbs_bits: 4_000,
+        })
+        .collect()
+}
+
+fn bench_blind_decoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blind_decode_subframe");
+    for n in [1u16, 4, 16] {
+        group.bench_function(format!("{n}_messages"), |b| {
+            let mut dec = ControlChannelDecoder::new(CellId(0), DecoderConfig::default(), DetRng::new(5));
+            let mut sf = 0u64;
+            b.iter(|| {
+                sf += 1;
+                black_box(dec.decode_subframe(sf, black_box(&messages(n, sf))))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dci_roundtrip(c: &mut Criterion) {
+    let msg = messages(1, 7)[0];
+    c.bench_function("dci_encode_blind_decode", |b| {
+        b.iter(|| {
+            let enc = black_box(&msg).encode(4, 0);
+            black_box(enc.blind_decode())
+        })
+    });
+}
+
+criterion_group!(benches, bench_blind_decoding, bench_dci_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: wall-clock cost of a short end-to-end simulation (one
+//! simulated second), for PBE-CC and BBR.  This is the unit every figure
+//! binary repeats many times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbe_cc_algorithms::api::SchemeName;
+use pbe_cellular::traffic::CellLoadProfile;
+use pbe_netsim::{SchemeChoice, SimConfig, Simulation};
+use pbe_stats::time::Duration;
+use std::hint::black_box;
+
+fn bench_simulated_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_second");
+    group.sample_size(10);
+    for (scheme, label) in [
+        (SchemeChoice::Pbe, "pbe_idle_cell"),
+        (SchemeChoice::Baseline(SchemeName::Bbr), "bbr_idle_cell"),
+        (SchemeChoice::Pbe, "pbe_busy_cell"),
+    ] {
+        let load = if label.ends_with("busy_cell") {
+            CellLoadProfile::busy()
+        } else {
+            CellLoadProfile::none()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::single_flow(scheme, Duration::from_secs(1), load, 99);
+                black_box(Simulation::new(cfg).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_second);
+criterion_main!(benches);

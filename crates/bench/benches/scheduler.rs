@@ -1,0 +1,60 @@
+//! Criterion bench: the eNodeB equal-share scheduler and one full cell
+//! subframe tick under background load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pbe_cellular::cell::{Cell, QueuedPacket};
+use pbe_cellular::channel::ChannelModel;
+use pbe_cellular::config::{CellConfig, CellId, Rnti, UeId};
+use pbe_cellular::scheduler::{Demand, DemandClass, EqualShareScheduler};
+use pbe_cellular::traffic::{BackgroundTraffic, CellLoadProfile};
+use pbe_stats::time::Instant;
+use pbe_stats::DetRng;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equal_share_scheduler");
+    for users in [2usize, 8, 28] {
+        let demands: Vec<Demand> = (0..users as u32)
+            .map(|u| Demand {
+                ue: UeId(u),
+                rnti: Rnti(0x100 + u as u16),
+                prbs: 40,
+                class: DemandClass::Data,
+            })
+            .collect();
+        group.bench_function(format!("{users}_users"), |b| {
+            let mut sched = EqualShareScheduler::new();
+            b.iter(|| black_box(sched.schedule(100, black_box(&demands))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell_tick(c: &mut Criterion) {
+    c.bench_function("cell_tick_busy_backlogged", |b| {
+        let mut cell = Cell::new(
+            CellConfig::primary_20mhz(CellId(0)),
+            BackgroundTraffic::new(CellLoadProfile::busy(), DetRng::new(1)),
+            DetRng::new(2),
+        );
+        let ue = UeId(1);
+        cell.attach(ue, Rnti(0x100));
+        for i in 0..200_000u64 {
+            cell.enqueue(ue, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+        }
+        let state = ChannelModel::stationary(-85.0, 2, DetRng::new(3))
+            .deterministic()
+            .sample(Instant::ZERO);
+        let mut channels = HashMap::new();
+        channels.insert(ue, state);
+        let mut sf = 0u64;
+        b.iter(|| {
+            sf += 1;
+            black_box(cell.tick(sf, black_box(&channels)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_scheduler, bench_cell_tick);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Figures 16 and 17: performance under mobility.  The device starts at
+//! −85 dBm, walks to −105 dBm over 13 s, returns in 4 s and stays put —
+//! Fig. 16 compares all eight schemes' throughput/delay, Fig. 17 shows the
+//! PBE-CC and BBR timelines in 2-second intervals.
+
+use pbe_bench::scenarios::paper_schemes;
+use pbe_bench::TextTable;
+use pbe_cc_algorithms::api::SchemeName;
+use pbe_cellular::channel::MobilityTrace;
+use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
+use pbe_cellular::traffic::CellLoadProfile;
+use pbe_netsim::{FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation};
+use pbe_stats::percentile::median;
+use pbe_stats::time::Duration;
+
+fn run(scheme: SchemeChoice, seconds: u64) -> SimResult {
+    let ue = UeId(1);
+    let duration = Duration::from_secs(seconds);
+    let cfg = SimConfig {
+        cellular: CellularConfig::default(),
+        load: CellLoadProfile::idle(),
+        seed: 16,
+        duration,
+        ues: vec![(
+            UeConfig::new(ue, vec![CellId(0), CellId(1), CellId(2)], 2, -85.0),
+            MobilityTrace::paper_mobility_walk(),
+        )],
+        flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
+    };
+    Simulation::new(cfg).run()
+}
+
+fn main() {
+    let seconds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    println!("Figure 16 reproduction: mobility walk -85 -> -105 -> -85 dBm over {seconds} s\n");
+    let mut table = TextTable::new(&["scheme", "avg tput (Mbit/s)", "median delay (ms)", "p95 delay (ms)"]);
+    let mut pbe_result = None;
+    let mut bbr_result = None;
+    for (scheme, name) in paper_schemes() {
+        let result = run(scheme, seconds);
+        let s = &result.flows[0].summary;
+        table.row(&[
+            name.to_string(),
+            format!("{:.1}", s.avg_throughput_mbps),
+            format!("{:.0}", s.delay_percentiles_ms[2]),
+            format!("{:.0}", s.p95_delay_ms),
+        ]);
+        match scheme {
+            SchemeChoice::Pbe => pbe_result = Some(result),
+            SchemeChoice::Baseline(SchemeName::Bbr) => bbr_result = Some(result),
+            _ => {}
+        }
+    }
+    println!("{}", table.render());
+
+    println!("Figure 17: per-2-second median throughput and delay, PBE vs BBR\n");
+    let mut t = TextTable::new(&["t (s)", "PBE tput", "PBE delay", "BBR tput", "BBR delay"]);
+    let (pbe, bbr) = (pbe_result.expect("pbe ran"), bbr_result.expect("bbr ran"));
+    let intervals = (seconds / 2) as usize;
+    for i in 0..intervals {
+        let slice = |r: &SimResult| {
+            let f = &r.flows[0];
+            let lo = i * 20;
+            let hi = ((i + 1) * 20).min(f.throughput_timeline_mbps.len());
+            let tput = median(&f.throughput_timeline_mbps[lo..hi]).unwrap_or(0.0);
+            let delays: Vec<f64> = f.delay_timeline_ms[lo..hi].iter().flatten().copied().collect();
+            (tput, median(&delays).unwrap_or(0.0))
+        };
+        let (pt, pd) = slice(&pbe);
+        let (bt, bd) = slice(&bbr);
+        t.row(&[
+            format!("{}", i * 2),
+            format!("{pt:.1}"),
+            format!("{pd:.0}"),
+            format!("{bt:.1}"),
+            format!("{bd:.0}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper reference: PBE-CC tracks the capacity drop (13-26 s) and recovery (26-30 s) with");
+    println!("near-zero queueing; BBR overreacts to the drop and overshoots on recovery, inflating delay.");
+}

@@ -1,0 +1,14 @@
+//! Experiment harness for the PBE-CC reproduction.
+//!
+//! Every table and figure of the paper's evaluation maps to one binary in
+//! `src/bin/` (see `DESIGN.md` §3 for the index and `EXPERIMENTS.md` for the
+//! recorded results).  The binaries print plot-ready text tables; the
+//! Criterion benches under `benches/` measure the computational cost of the
+//! building blocks (capacity estimation, scheduling, blind decoding, the
+//! congestion-control update paths, and a short end-to-end simulation).
+
+pub mod scenarios;
+pub mod table;
+
+pub use scenarios::{Location, LocationKind, ScenarioLibrary};
+pub use table::TextTable;

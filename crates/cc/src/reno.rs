@@ -1,0 +1,118 @@
+//! TCP Reno / NewReno-style AIMD, used as an extra sanity baseline.
+
+use crate::api::{AckInfo, CongestionControl, MSS_BYTES};
+use pbe_stats::time::{Duration, Instant};
+
+/// Classic additive-increase / multiplicative-decrease congestion control.
+#[derive(Debug)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+    srtt: Duration,
+    last_loss: Option<Instant>,
+}
+
+impl Reno {
+    /// New Reno instance with a 10-segment initial window.
+    pub fn new(rtprop_hint: Duration) -> Self {
+        Reno {
+            cwnd: 10.0,
+            ssthresh: f64::INFINITY,
+            srtt: rtprop_hint,
+            last_loss: None,
+        }
+    }
+
+    /// Congestion window in segments.
+    pub fn cwnd_segments(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &'static str {
+        "Reno"
+    }
+
+    fn on_ack(&mut self, ack: &AckInfo) {
+        let sample = ack.rtt.as_secs_f64();
+        self.srtt = Duration::from_secs_f64(self.srtt.as_secs_f64() * 0.875 + sample * 0.125);
+        if ack.loss_detected {
+            self.on_loss(ack.now);
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd.max(1.0);
+        }
+    }
+
+    fn on_loss(&mut self, now: Instant) {
+        if let Some(last) = self.last_loss {
+            if now.saturating_since(last) < self.srtt {
+                return;
+            }
+        }
+        self.last_loss = Some(now);
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_packet_sent(&mut self, _now: Instant, _bytes: u64, _inflight: u64) {}
+
+    fn pacing_rate_bps(&self) -> f64 {
+        let rtt = self.srtt.as_secs_f64().max(1e-3);
+        self.cwnd * MSS_BYTES as f64 * 8.0 / rtt * 1.2
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        (self.cwnd * MSS_BYTES as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64) -> AckInfo {
+        AckInfo {
+            now: Instant::from_millis(now_ms),
+            packet_id: now_ms,
+            bytes_acked: MSS_BYTES,
+            rtt: Duration::from_millis(40),
+            one_way_delay_ms: 20.0,
+            delivery_rate_bps: 10e6,
+            inflight_bytes: 30_000,
+            loss_detected: false,
+            pbe: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_then_congestion_avoidance() {
+        let mut reno = Reno::new(Duration::from_millis(40));
+        for i in 0..20u64 {
+            reno.on_ack(&ack(i));
+        }
+        assert!((reno.cwnd_segments() - 30.0).abs() < 1e-9);
+        reno.on_loss(Instant::from_millis(30));
+        assert!((reno.cwnd_segments() - 15.0).abs() < 1e-9);
+        let before = reno.cwnd_segments();
+        // 15 ACKs in congestion avoidance grow the window by ~1 segment.
+        for i in 100..115u64 {
+            reno.on_ack(&ack(i));
+        }
+        assert!((reno.cwnd_segments() - before - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn window_never_collapses_below_two_segments() {
+        let mut reno = Reno::new(Duration::from_millis(40));
+        for i in 0..20u64 {
+            reno.on_loss(Instant::from_millis(i * 1000));
+        }
+        assert!(reno.cwnd_segments() >= 2.0);
+        assert!(reno.pacing_rate_bps() > 0.0);
+    }
+}

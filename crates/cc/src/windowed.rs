@@ -1,0 +1,141 @@
+//! Windowed max/min filters used by BBR-style estimators.
+//!
+//! BBR (and PBE-CC's cellular-tailored BBR mode) estimate the bottleneck
+//! bandwidth as the maximum delivery rate observed over the last ~10 RTTs and
+//! the round-trip propagation delay as the minimum RTT observed over the last
+//! 10 seconds.  These filters keep the running extreme over a sliding time
+//! window without storing every sample.
+
+use pbe_stats::time::{Duration, Instant};
+
+/// Running maximum over a sliding time window.
+#[derive(Debug, Clone)]
+pub struct WindowedMax {
+    window: Duration,
+    samples: Vec<(Instant, f64)>,
+}
+
+impl WindowedMax {
+    /// Create a filter with the given window length.
+    pub fn new(window: Duration) -> Self {
+        WindowedMax {
+            window,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Change the window length.
+    pub fn set_window(&mut self, window: Duration) {
+        self.window = window;
+    }
+
+    /// Insert a sample and return the current windowed maximum.
+    pub fn update(&mut self, now: Instant, value: f64) -> f64 {
+        // Drop samples that have aged out or are dominated by the new value.
+        self.samples.retain(|(t, v)| now.saturating_since(*t) <= self.window && *v > value);
+        self.samples.push((now, value));
+        self.get()
+    }
+
+    /// Current windowed maximum (0 if empty).
+    pub fn get(&self) -> f64 {
+        self.samples.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+
+    /// Expire old samples without adding a new one.
+    pub fn expire(&mut self, now: Instant) {
+        self.samples.retain(|(t, _)| now.saturating_since(*t) <= self.window);
+    }
+}
+
+/// Running minimum over a sliding time window.
+#[derive(Debug, Clone)]
+pub struct WindowedMin {
+    window: Duration,
+    samples: Vec<(Instant, f64)>,
+}
+
+impl WindowedMin {
+    /// Create a filter with the given window length.
+    pub fn new(window: Duration) -> Self {
+        WindowedMin {
+            window,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Insert a sample and return the current windowed minimum.
+    pub fn update(&mut self, now: Instant, value: f64) -> f64 {
+        self.samples.retain(|(t, v)| now.saturating_since(*t) <= self.window && *v < value);
+        self.samples.push((now, value));
+        self.get()
+    }
+
+    /// Current windowed minimum (`f64::INFINITY` if empty).
+    pub fn get(&self) -> f64 {
+        self.samples.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Expire old samples without adding a new one.
+    pub fn expire(&mut self, now: Instant) {
+        self.samples.retain(|(t, _)| now.saturating_since(*t) <= self.window);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u64) -> Instant {
+        Instant::from_secs(v)
+    }
+
+    #[test]
+    fn windowed_max_tracks_peak_and_expires() {
+        let mut f = WindowedMax::new(Duration::from_secs(10));
+        assert_eq!(f.update(s(0), 5.0), 5.0);
+        assert_eq!(f.update(s(1), 3.0), 5.0);
+        assert_eq!(f.update(s(2), 8.0), 8.0);
+        // At t=13 the 8.0 sample (t=2) has aged out; only recent ones remain.
+        assert_eq!(f.update(s(13), 4.0), 4.0);
+    }
+
+    #[test]
+    fn windowed_min_tracks_floor_and_expires() {
+        let mut f = WindowedMin::new(Duration::from_secs(10));
+        assert_eq!(f.update(s(0), 50.0), 50.0);
+        assert_eq!(f.update(s(1), 40.0), 40.0);
+        assert_eq!(f.update(s(5), 60.0), 40.0);
+        assert_eq!(f.update(s(12), 55.0), 55.0);
+    }
+
+    #[test]
+    fn empty_filters_have_sentinel_values() {
+        let max = WindowedMax::new(Duration::from_secs(1));
+        let min = WindowedMin::new(Duration::from_secs(1));
+        assert_eq!(max.get(), 0.0);
+        assert!(min.get().is_infinite());
+    }
+
+    #[test]
+    fn expire_without_update() {
+        let mut f = WindowedMax::new(Duration::from_secs(2));
+        f.update(s(0), 9.0);
+        f.expire(s(10));
+        assert_eq!(f.get(), 0.0);
+        let mut m = WindowedMin::new(Duration::from_secs(2));
+        m.update(s(0), 9.0);
+        m.expire(s(10));
+        assert!(m.get().is_infinite());
+    }
+
+    #[test]
+    fn dominated_samples_are_pruned() {
+        let mut f = WindowedMax::new(Duration::from_secs(100));
+        for i in 0..1000u64 {
+            f.update(s(i / 10), (i % 7) as f64);
+        }
+        // Internal storage stays small because dominated samples are dropped.
+        assert!(f.samples.len() <= 8, "len = {}", f.samples.len());
+    }
+}

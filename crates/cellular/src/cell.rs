@@ -1,0 +1,550 @@
+//! One component carrier: per-UE queues, scheduling, transport blocks, HARQ
+//! and control-channel announcements.
+//!
+//! A [`Cell`] owns the per-user downlink queues of one carrier, runs the
+//! equal-share scheduler once per 1 ms subframe, segments queued packets into
+//! transport blocks sized by the user's current MCS, draws transport-block
+//! errors from the channel model, drives the HARQ retransmission machinery,
+//! and emits one DCI message per scheduled user per subframe — the stream the
+//! PBE-CC monitor decodes.
+
+use crate::channel::{tb_error_probability, ChannelState};
+use crate::config::{CellConfig, CellId, Rnti, UeId};
+use crate::dci::{DciFormat, DciMessage};
+use crate::harq::{HarqEntity, HarqOutcome, Segment, TransportBlock};
+use crate::mcs::{prbs_needed, transport_block_size};
+use crate::prb::{PrbAllocation, PrbUsage};
+use crate::scheduler::{Demand, DemandClass, EqualShareScheduler, ScheduleResult};
+use crate::traffic::{BackgroundGrant, BackgroundTraffic};
+use pbe_stats::time::Instant;
+use pbe_stats::DetRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A packet queued for downlink delivery to one UE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueuedPacket {
+    /// Globally unique packet id (assigned by the caller).
+    pub id: u64,
+    /// Payload size in bytes.
+    pub bytes: u32,
+    /// Time the packet entered the base-station queue.
+    pub enqueued_at: Instant,
+}
+
+#[derive(Debug, Clone)]
+struct QueueEntry {
+    packet: QueuedPacket,
+    remaining_bytes: u32,
+}
+
+/// Everything that happened in one cell during one subframe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubframeReport {
+    /// The cell.
+    pub cell: CellId,
+    /// Subframe index.
+    pub subframe: u64,
+    /// Control messages transmitted on the PDCCH this subframe (one per
+    /// scheduled user, foreground and background alike).
+    pub dci_messages: Vec<DciMessage>,
+    /// HARQ outcomes for foreground transport blocks (new and retransmitted),
+    /// tagged with the UE they belong to.
+    pub outcomes: Vec<(UeId, HarqOutcome)>,
+    /// PRB accounting for the subframe.
+    pub prb_usage: PrbUsage,
+    /// Queue depth in bits per foreground UE after this subframe.
+    pub queue_bits: HashMap<UeId, u64>,
+}
+
+/// One component carrier of the simulated eNodeB.
+#[derive(Debug)]
+pub struct Cell {
+    config: CellConfig,
+    scheduler: EqualShareScheduler,
+    background: BackgroundTraffic,
+    queues: HashMap<UeId, VecDeque<QueueEntry>>,
+    rnti_of: HashMap<UeId, Rnti>,
+    harq: HashMap<UeId, HarqEntity>,
+    next_sequence: HashMap<UeId, u64>,
+    tb_counter: u64,
+    rng: DetRng,
+    /// Cumulative PRBs allocated to anyone (for utilisation stats).
+    pub total_allocated_prbs: u64,
+    /// Cumulative subframes ticked.
+    pub subframes_ticked: u64,
+}
+
+impl Cell {
+    /// Create a cell with the given static configuration and background
+    /// traffic generator.
+    pub fn new(config: CellConfig, background: BackgroundTraffic, rng: DetRng) -> Self {
+        Cell {
+            config,
+            scheduler: EqualShareScheduler::new(),
+            background,
+            queues: HashMap::new(),
+            rnti_of: HashMap::new(),
+            harq: HashMap::new(),
+            next_sequence: HashMap::new(),
+            tb_counter: 0,
+            rng,
+            total_allocated_prbs: 0,
+            subframes_ticked: 0,
+        }
+    }
+
+    /// The cell's static configuration.
+    pub fn config(&self) -> &CellConfig {
+        &self.config
+    }
+
+    /// Mutable access to the cell's background-traffic generator (used by the
+    /// network orchestrator and the diurnal micro-benchmark).
+    pub fn background_mut(&mut self) -> &mut BackgroundTraffic {
+        &mut self.background
+    }
+
+    /// The cell id.
+    pub fn id(&self) -> CellId {
+        self.config.id
+    }
+
+    /// Attach a foreground UE with the RNTI its grants will be addressed to.
+    pub fn attach(&mut self, ue: UeId, rnti: Rnti) {
+        self.rnti_of.insert(ue, rnti);
+        self.queues.entry(ue).or_default();
+        self.harq.entry(ue).or_default();
+        self.next_sequence.entry(ue).or_insert(0);
+    }
+
+    /// True if the UE is attached to this cell.
+    pub fn is_attached(&self, ue: UeId) -> bool {
+        self.rnti_of.contains_key(&ue)
+    }
+
+    /// Enqueue a downlink packet for an attached UE.
+    pub fn enqueue(&mut self, ue: UeId, packet: QueuedPacket) {
+        debug_assert!(self.is_attached(ue), "enqueue for unattached {ue}");
+        self.queues.entry(ue).or_default().push_back(QueueEntry {
+            remaining_bytes: packet.bytes,
+            packet,
+        });
+    }
+
+    /// Bits waiting in the downlink queue of a UE.
+    pub fn queue_bits(&self, ue: UeId) -> u64 {
+        self.queues
+            .get(&ue)
+            .map(|q| q.iter().map(|e| u64::from(e.remaining_bytes) * 8).sum())
+            .unwrap_or(0)
+    }
+
+    /// Number of packets waiting (fully or partially) for a UE.
+    pub fn queue_packets(&self, ue: UeId) -> usize {
+        self.queues.get(&ue).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Long-run PRB utilisation of the cell.
+    pub fn utilisation(&self) -> f64 {
+        if self.subframes_ticked == 0 {
+            return 0.0;
+        }
+        self.total_allocated_prbs as f64
+            / (self.subframes_ticked as f64 * f64::from(self.config.total_prbs()))
+    }
+
+    fn pull_segments(&mut self, ue: UeId, capacity_bits: u32) -> (Vec<Segment>, u32) {
+        let queue = self.queues.entry(ue).or_default();
+        let mut capacity_bytes = capacity_bits / 8;
+        let mut segments = Vec::new();
+        let mut used_bytes = 0u32;
+        while capacity_bytes > 0 {
+            let Some(front) = queue.front_mut() else { break };
+            let take = front.remaining_bytes.min(capacity_bytes);
+            if take == 0 {
+                break;
+            }
+            front.remaining_bytes -= take;
+            capacity_bytes -= take;
+            used_bytes += take;
+            let is_last = front.remaining_bytes == 0;
+            segments.push(Segment {
+                packet_id: front.packet.id,
+                bytes: take,
+                is_last,
+            });
+            if is_last {
+                queue.pop_front();
+            }
+        }
+        (segments, used_bytes * 8)
+    }
+
+    /// Advance the cell by one subframe.
+    ///
+    /// `channels` supplies the current channel state of every attached
+    /// foreground UE (missing UEs are simply not scheduled this subframe).
+    pub fn tick(&mut self, subframe: u64, channels: &HashMap<UeId, ChannelState>) -> SubframeReport {
+        self.subframes_ticked += 1;
+        let total_prbs = self.config.total_prbs();
+        let mut dci_messages = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut allocations: Vec<PrbAllocation> = Vec::new();
+        let mut cursor: u16 = 0;
+
+        // --- Phase 1: HARQ retransmissions take priority. ------------------
+        let ue_ids: Vec<UeId> = self.rnti_of.keys().copied().collect();
+        for ue in &ue_ids {
+            let Some(state) = channels.get(ue) else { continue };
+            let harq = self.harq.entry(*ue).or_default();
+            if !harq.has_due_retransmission(subframe) {
+                continue;
+            }
+            let ber = state.bit_error_rate;
+            let mut rng = self.rng.split_indexed("retx", subframe ^ u64::from(ue.0) << 32);
+            let retx_outcomes = harq.retransmit_due(subframe, |block| {
+                rng.bernoulli(tb_error_probability(u64::from(block.tbs_bits), ber))
+            });
+            let rnti = self.rnti_of[ue];
+            for o in &retx_outcomes {
+                let prbs = o.block.num_prbs.min(total_prbs.saturating_sub(cursor));
+                if prbs > 0 {
+                    allocations.push(PrbAllocation {
+                        ue: *ue,
+                        rnti,
+                        first_prb: cursor,
+                        num_prbs: prbs,
+                    });
+                    cursor += prbs;
+                }
+                dci_messages.push(DciMessage {
+                    cell: self.config.id,
+                    subframe,
+                    rnti,
+                    format: if state.spatial_streams > 1 { DciFormat::Format2 } else { DciFormat::Format1 },
+                    first_prb: allocations.last().map(|a| a.first_prb).unwrap_or(0),
+                    num_prbs: prbs,
+                    mcs: state.cqi.to_mcs(),
+                    spatial_streams: state.spatial_streams,
+                    new_data_indicator: false,
+                    harq_process: (o.block.id % 8) as u8,
+                    tbs_bits: o.block.tbs_bits,
+                });
+            }
+            outcomes.extend(retx_outcomes.into_iter().map(|o| (*ue, o)));
+        }
+
+        // --- Phase 2: background grants and foreground new data compete for
+        // the remaining PRBs through the equal-share scheduler. -------------
+        let remaining_prbs = total_prbs - cursor;
+        let background_grants: Vec<BackgroundGrant> = self.background.tick(subframe);
+        let mut demands: Vec<Demand> = BackgroundTraffic::to_demands(&background_grants);
+        for ue in &ue_ids {
+            let Some(state) = channels.get(ue) else { continue };
+            let queue_bits = self.queue_bits(*ue);
+            if queue_bits == 0 {
+                continue;
+            }
+            let prbs = prbs_needed(queue_bits, state.cqi, state.spatial_streams).min(remaining_prbs);
+            if prbs == 0 {
+                continue;
+            }
+            demands.push(Demand {
+                ue: *ue,
+                rnti: self.rnti_of[ue],
+                prbs,
+                class: DemandClass::Data,
+            });
+        }
+        let result: ScheduleResult = self.scheduler.schedule(remaining_prbs, &demands);
+
+        // Background DCIs.
+        let grant_by_rnti: HashMap<Rnti, &BackgroundGrant> =
+            background_grants.iter().map(|g| (g.rnti, g)).collect();
+        for alloc in &result.allocations {
+            if let Some(grant) = grant_by_rnti.get(&alloc.rnti) {
+                let tbs = transport_block_size(alloc.num_prbs, grant.cqi, 1);
+                dci_messages.push(DciMessage {
+                    cell: self.config.id,
+                    subframe,
+                    rnti: alloc.rnti,
+                    format: if grant.is_control { DciFormat::Format1A } else { DciFormat::Format1 },
+                    first_prb: alloc.first_prb + cursor,
+                    num_prbs: alloc.num_prbs,
+                    mcs: grant.cqi.to_mcs(),
+                    spatial_streams: 1,
+                    new_data_indicator: true,
+                    harq_process: (subframe % 8) as u8,
+                    tbs_bits: tbs,
+                });
+            }
+        }
+
+        // Foreground transport blocks.
+        for ue in &ue_ids {
+            let Some(state) = channels.get(ue) else { continue };
+            let granted = result.granted_to(*ue);
+            if granted == 0 {
+                continue;
+            }
+            let rnti = self.rnti_of[ue];
+            let tbs_bits = transport_block_size(granted, state.cqi, state.spatial_streams);
+            let (segments, used_bits) = self.pull_segments(*ue, tbs_bits);
+            if segments.is_empty() {
+                continue;
+            }
+            self.tb_counter += 1;
+            let sequence = {
+                let seq = self.next_sequence.entry(*ue).or_insert(0);
+                let s = *seq;
+                *seq += 1;
+                s
+            };
+            let block = TransportBlock {
+                id: self.tb_counter,
+                sequence,
+                tbs_bits: used_bits.max(16),
+                num_prbs: granted,
+                segments,
+                first_tx_subframe: subframe,
+            };
+            let error_p = tb_error_probability(u64::from(block.tbs_bits), state.bit_error_rate);
+            let mut rng = self.rng.split_indexed("tberr", self.tb_counter);
+            let error = rng.bernoulli(error_p);
+            let harq = self.harq.entry(*ue).or_default();
+            let outcome = harq.transmit_new(block, subframe, error);
+            let first_prb = result
+                .allocations
+                .iter()
+                .find(|a| a.ue == *ue)
+                .map(|a| a.first_prb + cursor)
+                .unwrap_or(cursor);
+            dci_messages.push(DciMessage {
+                cell: self.config.id,
+                subframe,
+                rnti,
+                format: if state.spatial_streams > 1 { DciFormat::Format2 } else { DciFormat::Format1 },
+                first_prb,
+                num_prbs: granted,
+                mcs: state.cqi.to_mcs(),
+                spatial_streams: state.spatial_streams,
+                new_data_indicator: true,
+                harq_process: (outcome.block.id % 8) as u8,
+                tbs_bits: outcome.block.tbs_bits,
+            });
+            outcomes.push((*ue, outcome));
+        }
+
+        // --- Phase 3: bookkeeping. ------------------------------------------
+        for alloc in &result.allocations {
+            allocations.push(PrbAllocation {
+                ue: alloc.ue,
+                rnti: alloc.rnti,
+                first_prb: alloc.first_prb + cursor,
+                num_prbs: alloc.num_prbs,
+            });
+        }
+        let prb_usage = PrbUsage {
+            total: total_prbs,
+            allocations,
+        };
+        self.total_allocated_prbs += u64::from(prb_usage.allocated());
+        let queue_bits = ue_ids.iter().map(|ue| (*ue, self.queue_bits(*ue))).collect();
+        SubframeReport {
+            cell: self.config.id,
+            subframe,
+            dci_messages,
+            outcomes,
+            prb_usage,
+            queue_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelModel;
+    use crate::config::CellConfig;
+    use crate::traffic::CellLoadProfile;
+
+    fn quiet_cell() -> Cell {
+        Cell::new(
+            CellConfig::primary_20mhz(CellId(0)),
+            BackgroundTraffic::new(CellLoadProfile::none(), DetRng::new(10)),
+            DetRng::new(11),
+        )
+    }
+
+    fn good_channel() -> ChannelState {
+        ChannelModel::stationary(-85.0, 2, DetRng::new(1))
+            .deterministic()
+            .sample(Instant::ZERO)
+    }
+
+    fn channels_for(ue: UeId, state: ChannelState) -> HashMap<UeId, ChannelState> {
+        let mut m = HashMap::new();
+        m.insert(ue, state);
+        m
+    }
+
+    #[test]
+    fn empty_cell_emits_no_dci_and_stays_idle() {
+        let mut cell = quiet_cell();
+        let report = cell.tick(0, &HashMap::new());
+        assert!(report.dci_messages.is_empty());
+        assert_eq!(report.prb_usage.idle(), 100);
+        assert!(report.outcomes.is_empty());
+    }
+
+    #[test]
+    fn queued_packet_is_transmitted_and_queue_drains() {
+        let mut cell = quiet_cell();
+        let ue = UeId(1);
+        cell.attach(ue, Rnti(0x100));
+        cell.enqueue(
+            ue,
+            QueuedPacket {
+                id: 1,
+                bytes: 1500,
+                enqueued_at: Instant::ZERO,
+            },
+        );
+        assert_eq!(cell.queue_bits(ue), 12_000);
+        let report = cell.tick(0, &channels_for(ue, good_channel()));
+        // One DCI for the UE, new data, covering the whole packet.
+        assert_eq!(report.dci_messages.len(), 1);
+        let dci = &report.dci_messages[0];
+        assert!(dci.new_data_indicator);
+        assert_eq!(dci.rnti, Rnti(0x100));
+        assert!(dci.num_prbs > 0);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.outcomes[0].0, ue);
+        let seg = &report.outcomes[0].1.block.segments;
+        assert_eq!(seg.len(), 1);
+        assert_eq!(seg[0].packet_id, 1);
+        assert!(seg[0].is_last);
+        assert_eq!(cell.queue_bits(ue), 0);
+        assert_eq!(report.queue_bits[&ue], 0);
+    }
+
+    #[test]
+    fn large_packet_spans_multiple_subframes() {
+        let mut cell = quiet_cell();
+        let ue = UeId(1);
+        cell.attach(ue, Rnti(0x100));
+        // 1 MB packet cannot fit a single 20 MHz subframe (~20 kB).
+        cell.enqueue(
+            ue,
+            QueuedPacket {
+                id: 7,
+                bytes: 1_000_000,
+                enqueued_at: Instant::ZERO,
+            },
+        );
+        let ch = good_channel();
+        let mut subframes_with_data = 0;
+        let mut last_seen = false;
+        for sf in 0..200u64 {
+            let report = cell.tick(sf, &channels_for(ue, ch));
+            for (_, o) in &report.outcomes {
+                subframes_with_data += 1;
+                if o.block.segments.iter().any(|s| s.is_last && s.packet_id == 7) {
+                    last_seen = true;
+                }
+            }
+            if cell.queue_bits(ue) == 0 {
+                break;
+            }
+        }
+        assert!(last_seen, "the packet eventually finishes");
+        assert!(subframes_with_data > 10, "it took many transport blocks");
+        assert_eq!(cell.queue_bits(ue), 0);
+    }
+
+    #[test]
+    fn two_backlogged_ues_share_the_cell_equally() {
+        let mut cell = quiet_cell();
+        let (a, b) = (UeId(1), UeId(2));
+        cell.attach(a, Rnti(0x100));
+        cell.attach(b, Rnti(0x101));
+        for i in 0..2000 {
+            cell.enqueue(a, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+            cell.enqueue(b, QueuedPacket { id: 10_000 + i, bytes: 1500, enqueued_at: Instant::ZERO });
+        }
+        let mut channels = HashMap::new();
+        channels.insert(a, good_channel());
+        channels.insert(b, good_channel());
+        let mut prbs_a = 0u64;
+        let mut prbs_b = 0u64;
+        for sf in 0..50u64 {
+            let report = cell.tick(sf, &channels);
+            prbs_a += u64::from(report.prb_usage.allocated_to(a));
+            prbs_b += u64::from(report.prb_usage.allocated_to(b));
+        }
+        let ratio = prbs_a as f64 / prbs_b as f64;
+        assert!((0.9..1.1).contains(&ratio), "PRB ratio = {ratio}");
+    }
+
+    #[test]
+    fn retransmission_dci_has_ndi_false_and_arrives_8_subframes_later() {
+        // Force errors by using an artificially terrible channel state.
+        let mut cell = quiet_cell();
+        let ue = UeId(1);
+        cell.attach(ue, Rnti(0x100));
+        for i in 0..50 {
+            cell.enqueue(ue, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+        }
+        let mut bad = good_channel();
+        bad.bit_error_rate = 5e-4; // enormous: every block fails.
+        let report0 = cell.tick(0, &channels_for(ue, bad));
+        assert!(!report0.outcomes[0].1.success);
+        // No retransmission before subframe 8.
+        for sf in 1..8u64 {
+            let r = cell.tick(sf, &channels_for(ue, bad));
+            assert!(r.dci_messages.iter().all(|d| d.new_data_indicator));
+        }
+        let report8 = cell.tick(8, &channels_for(ue, bad));
+        assert!(
+            report8.dci_messages.iter().any(|d| !d.new_data_indicator),
+            "a retransmission DCI is sent at +8 ms"
+        );
+    }
+
+    #[test]
+    fn utilisation_reflects_load() {
+        let mut cell = quiet_cell();
+        let ue = UeId(1);
+        cell.attach(ue, Rnti(0x100));
+        for sf in 0..100u64 {
+            cell.tick(sf, &channels_for(ue, good_channel()));
+        }
+        assert_eq!(cell.utilisation(), 0.0);
+        for i in 0..100_000 {
+            cell.enqueue(ue, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+        }
+        for sf in 100..200u64 {
+            cell.tick(sf, &channels_for(ue, good_channel()));
+        }
+        assert!(cell.utilisation() > 0.4, "utilisation = {}", cell.utilisation());
+    }
+
+    #[test]
+    fn prb_usage_is_always_consistent_under_background_load() {
+        let mut cell = Cell::new(
+            CellConfig::primary_20mhz(CellId(0)),
+            BackgroundTraffic::new(CellLoadProfile::busy(), DetRng::new(3)),
+            DetRng::new(4),
+        );
+        let ue = UeId(1);
+        cell.attach(ue, Rnti(0x100));
+        for i in 0..50_000 {
+            cell.enqueue(ue, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+        }
+        for sf in 0..500u64 {
+            let report = cell.tick(sf, &channels_for(ue, good_channel()));
+            assert!(report.prb_usage.is_consistent(), "subframe {sf}");
+        }
+    }
+}

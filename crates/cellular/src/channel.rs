@@ -1,0 +1,345 @@
+//! Wireless channel model: RSSI, mobility, fading, SINR, CQI and bit error
+//! rate.
+//!
+//! The paper's experiments span RSSI levels from −85 dBm (good indoor
+//! coverage) to −113 dBm (cell edge), a mobility experiment that walks the
+//! device from −85 dBm to −105 dBm and back (Fig. 16/17), and an analytic
+//! transport-block error model based on an i.i.d. bit error rate between
+//! 1 × 10⁻⁶ and 5 × 10⁻⁶ (Fig. 6).  [`ChannelModel`] reproduces those inputs:
+//! a deterministic RSSI trajectory plus log-normal shadowing and fast fading
+//! with a configurable coherence time, mapped to SINR, CQI and BER.
+
+use crate::mcs::Cqi;
+use pbe_stats::time::{Duration, Instant};
+use pbe_stats::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Thermal noise plus typical interference floor for a 20 MHz LTE carrier at
+/// a moderately loaded site, in dBm.  SINR ≈ RSSI − NOISE_FLOOR_DBM.
+pub const NOISE_FLOOR_DBM: f64 = -110.0;
+
+/// A piecewise-linear RSSI-versus-time trajectory (the mobility model).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityTrace {
+    /// `(time, rssi_dbm)` waypoints, sorted by time.  RSSI is linearly
+    /// interpolated between waypoints and held constant after the last one.
+    pub waypoints: Vec<(Instant, f64)>,
+}
+
+impl MobilityTrace {
+    /// A static device at a fixed RSSI.
+    pub fn stationary(rssi_dbm: f64) -> Self {
+        MobilityTrace {
+            waypoints: vec![(Instant::ZERO, rssi_dbm)],
+        }
+    }
+
+    /// The paper's Fig. 16/17 walk: hold at −85 dBm for 13 s, walk to
+    /// −105 dBm over the next 13 s, walk back in 4 s, hold 10 s (40 s total).
+    pub fn paper_mobility_walk() -> Self {
+        MobilityTrace {
+            waypoints: vec![
+                (Instant::ZERO, -85.0),
+                (Instant::from_secs(13), -85.0),
+                (Instant::from_secs(26), -105.0),
+                (Instant::from_secs(30), -85.0),
+                (Instant::from_secs(40), -85.0),
+            ],
+        }
+    }
+
+    /// Build a trace from `(seconds, rssi)` pairs.
+    pub fn from_secs(points: &[(f64, f64)]) -> Self {
+        assert!(!points.is_empty());
+        MobilityTrace {
+            waypoints: points
+                .iter()
+                .map(|(s, r)| (Instant::from_micros((s * 1e6) as u64), *r))
+                .collect(),
+        }
+    }
+
+    /// RSSI at a point in time.
+    pub fn rssi_at(&self, t: Instant) -> f64 {
+        debug_assert!(!self.waypoints.is_empty());
+        if t <= self.waypoints[0].0 {
+            return self.waypoints[0].1;
+        }
+        for w in self.waypoints.windows(2) {
+            let (t0, r0) = w[0];
+            let (t1, r1) = w[1];
+            if t >= t0 && t <= t1 {
+                if t1 == t0 {
+                    return r1;
+                }
+                let frac = (t.as_micros() - t0.as_micros()) as f64 / (t1.as_micros() - t0.as_micros()) as f64;
+                return r0 + (r1 - r0) * frac;
+            }
+        }
+        self.waypoints.last().expect("non-empty").1
+    }
+}
+
+/// Instantaneous channel state between one UE and one cell, sampled once per
+/// subframe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelState {
+    /// Received signal strength including fading, dBm.
+    pub rssi_dbm: f64,
+    /// Signal-to-interference-plus-noise ratio, dB.
+    pub sinr_db: f64,
+    /// Channel quality indicator the UE would report.
+    pub cqi: Cqi,
+    /// Number of usable spatial streams (rank indicator).
+    pub spatial_streams: u8,
+    /// Estimated i.i.d. bit error rate after forward error correction, used
+    /// by the transport-block error model of the paper's Eqn. 5.
+    pub bit_error_rate: f64,
+}
+
+/// Per-(UE, cell) wireless channel model.
+#[derive(Debug, Clone)]
+pub struct ChannelModel {
+    trace: MobilityTrace,
+    /// Standard deviation of slow log-normal shadowing, dB.
+    shadowing_std_db: f64,
+    /// Peak-to-peak magnitude of fast fading, dB.
+    fading_depth_db: f64,
+    /// Channel coherence time: fading is re-drawn at this period.
+    coherence_time: Duration,
+    /// Maximum spatial streams the UE/cell pair supports.
+    max_spatial_streams: u8,
+    rng: DetRng,
+    current_fading_db: f64,
+    current_shadowing_db: f64,
+    fading_valid_until: Instant,
+}
+
+impl ChannelModel {
+    /// Create a channel model from a mobility trace.
+    pub fn new(trace: MobilityTrace, max_spatial_streams: u8, rng: DetRng) -> Self {
+        ChannelModel {
+            trace,
+            shadowing_std_db: 2.0,
+            fading_depth_db: 3.0,
+            coherence_time: Duration::from_millis(20),
+            max_spatial_streams: max_spatial_streams.max(1),
+            rng,
+            current_fading_db: 0.0,
+            current_shadowing_db: 0.0,
+            fading_valid_until: Instant::ZERO,
+        }
+    }
+
+    /// A stationary channel at a fixed RSSI.
+    pub fn stationary(rssi_dbm: f64, max_spatial_streams: u8, rng: DetRng) -> Self {
+        ChannelModel::new(MobilityTrace::stationary(rssi_dbm), max_spatial_streams, rng)
+    }
+
+    /// Override the fading coherence time (small values model vehicular
+    /// mobility, paper §1).
+    pub fn with_coherence_time(mut self, coherence: Duration) -> Self {
+        self.coherence_time = coherence.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Override the fading depth (dB).
+    pub fn with_fading_depth(mut self, depth_db: f64) -> Self {
+        self.fading_depth_db = depth_db.max(0.0);
+        self
+    }
+
+    /// Disable all randomness (no fading, no shadowing) — useful for tests
+    /// and for the analytic figures.
+    pub fn deterministic(mut self) -> Self {
+        self.fading_depth_db = 0.0;
+        self.shadowing_std_db = 0.0;
+        self
+    }
+
+    /// Sample the channel state for the subframe starting at `t`.
+    pub fn sample(&mut self, t: Instant) -> ChannelState {
+        if t >= self.fading_valid_until {
+            self.current_fading_db = if self.fading_depth_db > 0.0 {
+                // Rayleigh-like fades: mostly shallow, occasionally deep.
+                let u = self.rng.uniform();
+                let deep = self.rng.bernoulli(0.05);
+                let depth = if deep { self.fading_depth_db * 3.0 } else { self.fading_depth_db };
+                -depth * u
+            } else {
+                0.0
+            };
+            self.current_shadowing_db = if self.shadowing_std_db > 0.0 {
+                self.rng.normal(0.0, self.shadowing_std_db)
+            } else {
+                0.0
+            };
+            self.fading_valid_until = t + self.coherence_time;
+        }
+        let base_rssi = self.trace.rssi_at(t);
+        let rssi = base_rssi + self.current_shadowing_db + self.current_fading_db;
+        let sinr = rssi - NOISE_FLOOR_DBM;
+        let cqi = Cqi::from_sinr_db(sinr);
+        let spatial_streams = if sinr >= 13.0 {
+            self.max_spatial_streams.min(2).max(1)
+        } else {
+            1
+        };
+        ChannelState {
+            rssi_dbm: rssi,
+            sinr_db: sinr,
+            cqi,
+            spatial_streams,
+            bit_error_rate: ber_from_sinr(sinr),
+        }
+    }
+
+    /// The underlying mobility trace.
+    pub fn trace(&self) -> &MobilityTrace {
+        &self.trace
+    }
+}
+
+/// Residual post-FEC bit error rate as a function of SINR.
+///
+/// Calibrated to the paper's Fig. 6 measurements: a strong link (RSSI
+/// −98 dBm ⇒ SINR ≈ 12 dB) sees p ≈ 2–3 × 10⁻⁶ and a weak link (−113 dBm ⇒
+/// SINR ≈ −3 dB) sees p ≈ 5 × 10⁻⁶, with p → 1 × 10⁻⁶ on excellent channels.
+pub fn ber_from_sinr(sinr_db: f64) -> f64 {
+    const BER_MIN: f64 = 1.0e-6;
+    const BER_MAX: f64 = 5.0e-6;
+    // Logistic transition centred at 8 dB with a 6 dB width.
+    let x = (sinr_db - 8.0) / 6.0;
+    let frac = 1.0 / (1.0 + x.exp());
+    BER_MIN + (BER_MAX - BER_MIN) * frac
+}
+
+/// Transport-block error probability for a TB of `tb_bits` bits under an
+/// i.i.d. bit error rate `ber` (the paper's model: `1 − (1 − p)^L`).
+pub fn tb_error_probability(tb_bits: u64, ber: f64) -> f64 {
+    if tb_bits == 0 || ber <= 0.0 {
+        return 0.0;
+    }
+    if ber >= 1.0 {
+        return 1.0;
+    }
+    // Compute in log space for numerical stability with large L.
+    let log_ok = (tb_bits as f64) * (1.0 - ber).ln();
+    1.0 - log_ok.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stationary_trace_is_flat() {
+        let trace = MobilityTrace::stationary(-90.0);
+        assert_eq!(trace.rssi_at(Instant::ZERO), -90.0);
+        assert_eq!(trace.rssi_at(Instant::from_secs(100)), -90.0);
+    }
+
+    #[test]
+    fn paper_walk_interpolates() {
+        let trace = MobilityTrace::paper_mobility_walk();
+        assert_eq!(trace.rssi_at(Instant::from_secs(5)), -85.0);
+        // Midpoint of the 13 s..26 s descent: about -95 dBm.
+        let mid = trace.rssi_at(Instant::from_micros(19_500_000));
+        assert!((mid - (-95.0)).abs() < 0.5, "mid = {mid}");
+        assert_eq!(trace.rssi_at(Instant::from_secs(26)), -105.0);
+        assert_eq!(trace.rssi_at(Instant::from_secs(35)), -85.0);
+        assert_eq!(trace.rssi_at(Instant::from_secs(400)), -85.0);
+    }
+
+    #[test]
+    fn from_secs_builder() {
+        let trace = MobilityTrace::from_secs(&[(0.0, -80.0), (10.0, -100.0)]);
+        assert_eq!(trace.rssi_at(Instant::from_secs(0)), -80.0);
+        assert!((trace.rssi_at(Instant::from_secs(5)) - (-90.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_channel_maps_rssi_to_cqi_monotonically() {
+        let mut good = ChannelModel::stationary(-85.0, 2, DetRng::new(1)).deterministic();
+        let mut bad = ChannelModel::stationary(-108.0, 2, DetRng::new(1)).deterministic();
+        let g = good.sample(Instant::ZERO);
+        let b = bad.sample(Instant::ZERO);
+        assert!(g.cqi > b.cqi);
+        assert!(g.sinr_db > b.sinr_db);
+        assert_eq!(g.spatial_streams, 2);
+        assert_eq!(b.spatial_streams, 1);
+        assert!(g.bit_error_rate < b.bit_error_rate);
+    }
+
+    #[test]
+    fn fading_changes_only_at_coherence_boundaries() {
+        let mut ch = ChannelModel::stationary(-90.0, 2, DetRng::new(7))
+            .with_coherence_time(Duration::from_millis(10));
+        let a = ch.sample(Instant::from_millis(0));
+        let b = ch.sample(Instant::from_millis(5));
+        let c = ch.sample(Instant::from_millis(15));
+        assert_eq!(a.rssi_dbm, b.rssi_dbm, "within one coherence interval the fade is constant");
+        // After the coherence time the fade is re-drawn; values are almost
+        // surely different.
+        assert_ne!(a.rssi_dbm, c.rssi_dbm);
+    }
+
+    #[test]
+    fn ber_is_in_paper_range_and_monotone() {
+        assert!(ber_from_sinr(30.0) <= 1.5e-6);
+        assert!(ber_from_sinr(-5.0) >= 4.0e-6);
+        let mut prev = f64::MAX;
+        for i in -10..=30 {
+            let b = ber_from_sinr(i as f64);
+            assert!(b <= prev);
+            assert!((1.0e-6..=5.0e-6).contains(&b));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn tb_error_probability_matches_formula() {
+        // Small L: direct comparison with the naive formula.
+        let p = tb_error_probability(1000, 1e-4);
+        let naive = 1.0 - (1.0 - 1e-4f64).powi(1000);
+        assert!((p - naive).abs() < 1e-9);
+        assert_eq!(tb_error_probability(0, 1e-4), 0.0);
+        assert_eq!(tb_error_probability(100, 0.0), 0.0);
+        assert_eq!(tb_error_probability(100, 1.0), 1.0);
+    }
+
+    #[test]
+    fn tb_error_probability_matches_paper_fig6b() {
+        // Paper Fig. 6(b): at BER 5e-6 a 60 kbit TB has ~26 % error rate,
+        // at BER 1e-6 a 60 kbit TB has ~6 %.
+        let p_high = tb_error_probability(60_000, 5e-6);
+        let p_low = tb_error_probability(60_000, 1e-6);
+        assert!((0.2..0.3).contains(&p_high), "p_high = {p_high}");
+        assert!((0.04..0.08).contains(&p_low), "p_low = {p_low}");
+    }
+
+    proptest! {
+        #[test]
+        fn tb_error_probability_is_probability(bits in 0u64..10_000_000, ber in 0.0f64..0.01) {
+            let p = tb_error_probability(bits, ber);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn tb_error_monotone_in_size(bits in 1u64..1_000_000, extra in 1u64..1_000_000, ber in 1e-7f64..1e-4) {
+            let p1 = tb_error_probability(bits, ber);
+            let p2 = tb_error_probability(bits + extra, ber);
+            prop_assert!(p2 >= p1);
+        }
+
+        #[test]
+        fn channel_sample_is_sane(rssi in -120.0f64..-60.0, seed in 0u64..1000) {
+            let mut ch = ChannelModel::stationary(rssi, 2, DetRng::new(seed));
+            let s = ch.sample(Instant::from_millis(seed));
+            prop_assert!(s.cqi.0 >= 1 && s.cqi.0 <= 15);
+            prop_assert!(s.spatial_streams >= 1 && s.spatial_streams <= 2);
+            prop_assert!(s.bit_error_rate > 0.0 && s.bit_error_rate < 1e-5);
+        }
+    }
+}

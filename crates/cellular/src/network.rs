@@ -1,0 +1,486 @@
+//! The cellular network orchestrator: cells, UEs, carrier aggregation and the
+//! per-subframe data path.
+//!
+//! [`CellularNetwork`] is the boundary the end-to-end simulator talks to: the
+//! wired path hands it downlink packets ([`CellularNetwork::enqueue_packet`]),
+//! it advances the radio access network one 1 ms subframe at a time
+//! ([`CellularNetwork::tick`]), and it reports packet deliveries (with the
+//! HARQ/reordering delays the paper analyses), every DCI message transmitted
+//! on every cell's control channel (the PBE-CC monitor's input), PRB usage
+//! and carrier-aggregation events.
+
+use crate::carrier::{CaEvent, CaObservation, CarrierAggregationManager};
+use crate::cell::{Cell, QueuedPacket, SubframeReport};
+use crate::channel::{ChannelModel, ChannelState, MobilityTrace};
+use crate::config::{CellId, CellularConfig, Rnti, UeConfig, UeId};
+use crate::dci::DciMessage;
+use crate::traffic::{BackgroundTraffic, CellLoadProfile};
+use crate::ue::UserEquipment;
+use pbe_stats::time::Instant;
+use pbe_stats::DetRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A packet delivered (or lost) by the cellular network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Destination UE.
+    pub ue: UeId,
+    /// Packet id supplied at enqueue time.
+    pub packet_id: u64,
+    /// Payload bytes.
+    pub bytes: u32,
+    /// Time the packet was released to upper layers at the UE.
+    pub at: Instant,
+    /// False if the packet was lost (a transport block carrying part of it
+    /// exhausted its HARQ retransmissions).
+    pub delivered: bool,
+    /// Cell that served the packet.
+    pub cell: CellId,
+}
+
+/// Everything that happened in the radio access network during one subframe.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetworkTickReport {
+    /// Subframe index.
+    pub subframe: u64,
+    /// Packet deliveries and losses.
+    pub deliveries: Vec<Delivery>,
+    /// Every DCI message transmitted in every cell this subframe.
+    pub dci_messages: Vec<DciMessage>,
+    /// Per-cell detail (PRB usage, HARQ outcomes, queue depths).
+    pub cell_reports: Vec<SubframeReport>,
+    /// Carrier activation / deactivation events.
+    pub ca_events: Vec<CaEvent>,
+}
+
+/// The simulated radio access network.
+#[derive(Debug)]
+pub struct CellularNetwork {
+    config: CellularConfig,
+    cells: Vec<Cell>,
+    ues: HashMap<UeId, UserEquipment>,
+    ue_configs: HashMap<UeId, UeConfig>,
+    ca: CarrierAggregationManager,
+    packet_bytes: HashMap<u64, u32>,
+    next_rnti: u16,
+    rng: DetRng,
+    /// Subframes ticked so far.
+    pub subframes: u64,
+}
+
+impl CellularNetwork {
+    /// Build the network with one background-traffic generator per cell using
+    /// the given load profile.
+    pub fn new(config: CellularConfig, load: CellLoadProfile, seed: u64) -> Self {
+        let rng = DetRng::new(seed);
+        let cells = config
+            .cells
+            .iter()
+            .map(|c| {
+                Cell::new(
+                    c.clone(),
+                    BackgroundTraffic::new(load, rng.split_indexed("bg", u64::from(c.id.0))),
+                    rng.split_indexed("cell", u64::from(c.id.0)),
+                )
+            })
+            .collect();
+        CellularNetwork {
+            config,
+            cells,
+            ues: HashMap::new(),
+            ue_configs: HashMap::new(),
+            ca: CarrierAggregationManager::new(),
+            packet_bytes: HashMap::new(),
+            next_rnti: 0x0100,
+            rng,
+            subframes: 0,
+        }
+    }
+
+    /// Set a different load profile on one cell (used by the diurnal-sweep
+    /// micro-benchmark).
+    pub fn set_cell_load(&mut self, cell: CellId, load: CellLoadProfile) {
+        if let Some(c) = self.cell_mut(cell) {
+            c.background_mut().set_profile(load);
+        }
+    }
+
+    /// Static configuration of the network.
+    pub fn config(&self) -> &CellularConfig {
+        &self.config
+    }
+
+    fn cell_mut(&mut self, id: CellId) -> Option<&mut Cell> {
+        self.cells.iter_mut().find(|c| c.id() == id)
+    }
+
+    fn cell(&self, id: CellId) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.id() == id)
+    }
+
+    /// Register a UE with the given mobility trace applied to all of its
+    /// configured cells (secondary cells see the same large-scale trajectory
+    /// with a small fixed offset).  Returns the RNTI assigned to the UE.
+    pub fn add_ue(&mut self, ue_config: UeConfig, trace: MobilityTrace) -> Rnti {
+        let rnti = Rnti(self.next_rnti);
+        self.next_rnti += 1;
+        let mut channels = HashMap::new();
+        for (i, cell_id) in ue_config.configured_cells.iter().enumerate() {
+            let max_streams = self
+                .config
+                .cell(*cell_id)
+                .map(|c| c.max_spatial_streams)
+                .unwrap_or(2);
+            // Secondary carriers typically sit at higher frequencies and are
+            // received a little weaker.
+            let offset = -1.5 * i as f64;
+            let mut shifted = trace.clone();
+            for w in &mut shifted.waypoints {
+                w.1 += offset;
+            }
+            let model = ChannelModel::new(
+                shifted,
+                max_streams,
+                self.rng
+                    .split_indexed("chan", (u64::from(ue_config.id.0) << 8) | i as u64),
+            );
+            channels.insert(*cell_id, model);
+            if let Some(cell) = self.cell_mut(*cell_id) {
+                cell.attach(ue_config.id, rnti);
+            }
+        }
+        self.ca.register(ue_config.id);
+        self.ues.insert(
+            ue_config.id,
+            UserEquipment::new(ue_config.clone(), rnti, channels),
+        );
+        self.ue_configs.insert(ue_config.id, ue_config);
+        rnti
+    }
+
+    /// The RNTI of a registered UE.
+    pub fn rnti_of(&self, ue: UeId) -> Option<Rnti> {
+        self.ues.get(&ue).map(|u| u.rnti())
+    }
+
+    /// Cells currently active (aggregated) for a UE.
+    pub fn active_cells(&self, ue: UeId) -> Vec<CellId> {
+        self.ue_configs
+            .get(&ue)
+            .map(|cfg| self.ca.active_cell_ids(cfg))
+            .unwrap_or_default()
+    }
+
+    /// True if the UE ever had a secondary cell activated.
+    pub fn carrier_aggregation_triggered(&self, ue: UeId) -> bool {
+        self.ca.ever_aggregated(ue)
+    }
+
+    /// Bits queued for a UE across its configured cells.
+    pub fn queue_bits(&self, ue: UeId) -> u64 {
+        self.ue_configs
+            .get(&ue)
+            .map(|cfg| {
+                cfg.configured_cells
+                    .iter()
+                    .filter_map(|c| self.cell(*c))
+                    .map(|c| c.queue_bits(ue))
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Hand a downlink packet to the base station.  The packet is queued at
+    /// the active cell with the lowest queue-to-capacity ratio (the network's
+    /// internal flow splitting across aggregated carriers).
+    pub fn enqueue_packet(&mut self, ue: UeId, packet_id: u64, bytes: u32, now: Instant) {
+        let active = self.active_cells(ue);
+        if active.is_empty() {
+            return;
+        }
+        let target = active
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                let load = |id: CellId| {
+                    let cell = self.cell(id).expect("active cell exists");
+                    cell.queue_bits(ue) as f64 / f64::from(cell.config().total_prbs())
+                };
+                load(*a).partial_cmp(&load(*b)).expect("finite loads")
+            })
+            .expect("at least one active cell");
+        self.packet_bytes.insert(packet_id, bytes);
+        if let Some(cell) = self.cell_mut(target) {
+            cell.enqueue(
+                ue,
+                QueuedPacket {
+                    id: packet_id,
+                    bytes,
+                    enqueued_at: now,
+                },
+            );
+        }
+    }
+
+    /// Advance the whole radio access network by one subframe.
+    pub fn tick(&mut self, now: Instant) -> NetworkTickReport {
+        let subframe = now.subframe_index();
+        self.subframes += 1;
+        let mut report = NetworkTickReport {
+            subframe,
+            ..NetworkTickReport::default()
+        };
+
+        // Sample channels: per cell, the set of UEs that are attached and
+        // currently have that cell active.
+        let ue_ids: Vec<UeId> = self.ues.keys().copied().collect();
+        let mut channels_per_cell: HashMap<CellId, HashMap<UeId, ChannelState>> = HashMap::new();
+        for ue_id in &ue_ids {
+            let active = self.active_cells(*ue_id);
+            let ue = self.ues.get_mut(ue_id).expect("ue exists");
+            for cell_id in active {
+                if let Some(state) = ue.sample_channel(cell_id, now) {
+                    channels_per_cell.entry(cell_id).or_default().insert(*ue_id, state);
+                }
+            }
+        }
+
+        // Tick every cell and deliver its outcomes to the UEs.
+        let mut allocated_per_ue: HashMap<UeId, u32> = HashMap::new();
+        for cell in &mut self.cells {
+            let empty = HashMap::new();
+            let channels = channels_per_cell.get(&cell.id()).unwrap_or(&empty);
+            let cell_report = cell.tick(subframe, channels);
+            for dci in &cell_report.dci_messages {
+                report.dci_messages.push(*dci);
+            }
+            for ue_id in &ue_ids {
+                let prbs = cell_report.prb_usage.allocated_to(*ue_id);
+                if prbs > 0 {
+                    *allocated_per_ue.entry(*ue_id).or_insert(0) += u32::from(prbs);
+                }
+                let own: Vec<_> = cell_report
+                    .outcomes
+                    .iter()
+                    .filter(|(owner, _)| owner == ue_id)
+                    .map(|(_, o)| o.clone())
+                    .collect();
+                if own.is_empty() {
+                    continue;
+                }
+                let ue = self.ues.get_mut(ue_id).expect("ue exists");
+                let events = ue.process_outcomes(cell.id(), &own, now);
+                for e in events {
+                    let bytes = self.packet_bytes.remove(&e.packet_id).unwrap_or(0);
+                    report.deliveries.push(Delivery {
+                        ue: e.ue,
+                        packet_id: e.packet_id,
+                        bytes,
+                        at: e.at,
+                        delivered: e.delivered,
+                        cell: e.cell,
+                    });
+                }
+            }
+            report.cell_reports.push(cell_report);
+        }
+
+        // Drive carrier aggregation from this subframe's allocations.
+        for ue_id in &ue_ids {
+            let ue_config = self.ue_configs[ue_id].clone();
+            let active = self.ca.active_cell_ids(&ue_config);
+            let active_cell_prbs: u32 = active
+                .iter()
+                .filter_map(|c| self.config.cell(*c))
+                .map(|c| u32::from(c.total_prbs()))
+                .sum();
+            let obs = CaObservation {
+                allocated_prbs: allocated_per_ue.get(ue_id).copied().unwrap_or(0),
+                active_cell_prbs,
+                queued_bits: self.queue_bits(*ue_id),
+            };
+            if let Some(event) = self.ca.observe(&self.config, &ue_config, obs, now) {
+                report.ca_events.push(event);
+            }
+        }
+
+        report
+    }
+
+    /// Receive-side statistics of a UE: `(delivered, lost)` packet counts.
+    pub fn ue_stats(&self, ue: UeId) -> (u64, u64) {
+        self.ues
+            .get(&ue)
+            .map(|u| (u.packets_delivered, u.packets_lost))
+            .unwrap_or((0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UeConfig;
+
+    fn network(load: CellLoadProfile) -> CellularNetwork {
+        CellularNetwork::new(CellularConfig::default(), load, 42)
+    }
+
+    fn add_default_ue(net: &mut CellularNetwork, max_cells: usize) -> UeId {
+        let ue = UeId(1);
+        net.add_ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1), CellId(2)], max_cells, -85.0),
+            MobilityTrace::stationary(-85.0),
+        );
+        ue
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let mut net = network(CellLoadProfile::none());
+        let ue = add_default_ue(&mut net, 1);
+        for i in 0..100u64 {
+            net.enqueue_packet(ue, i, 1500, Instant::ZERO);
+        }
+        let mut delivered = 0;
+        for sf in 0..200u64 {
+            let report = net.tick(Instant::from_millis(sf));
+            delivered += report.deliveries.iter().filter(|d| d.delivered).count();
+        }
+        assert_eq!(delivered, 100, "all packets delivered on an idle cell");
+        assert_eq!(net.queue_bits(ue), 0);
+        let (ok, lost) = net.ue_stats(ue);
+        assert_eq!(ok, 100);
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn deliveries_carry_reasonable_latency() {
+        let mut net = network(CellLoadProfile::none());
+        let ue = add_default_ue(&mut net, 1);
+        net.enqueue_packet(ue, 1, 1500, Instant::ZERO);
+        let mut delivery = None;
+        for sf in 0..50u64 {
+            let report = net.tick(Instant::from_millis(sf));
+            if let Some(d) = report.deliveries.first() {
+                delivery = Some(*d);
+                break;
+            }
+        }
+        let d = delivery.expect("packet delivered");
+        assert!(d.delivered);
+        // A single small packet on an idle cell goes out in the first few
+        // subframes (no retransmission most of the time).
+        assert!(d.at.as_millis() <= 30, "delivered at {}", d.at);
+    }
+
+    #[test]
+    fn dci_messages_are_emitted_for_scheduled_users() {
+        let mut net = network(CellLoadProfile::none());
+        let ue = add_default_ue(&mut net, 1);
+        let rnti = net.rnti_of(ue).unwrap();
+        for i in 0..10u64 {
+            net.enqueue_packet(ue, i, 1500, Instant::ZERO);
+        }
+        let report = net.tick(Instant::ZERO);
+        assert!(report.dci_messages.iter().any(|d| d.rnti == rnti));
+    }
+
+    #[test]
+    fn sustained_overload_triggers_carrier_aggregation() {
+        let mut net = network(CellLoadProfile::none());
+        let ue = add_default_ue(&mut net, 3);
+        assert_eq!(net.active_cells(ue), vec![CellId(0)]);
+        // Offer far more than the primary cell can carry (~160 Mbit/s):
+        // 40 packets of 1500 B per ms = 480 Mbit/s.
+        let mut activated = false;
+        let mut packet_id = 0u64;
+        for sf in 0..2000u64 {
+            let now = Instant::from_millis(sf);
+            for _ in 0..40 {
+                net.enqueue_packet(ue, packet_id, 1500, now);
+                packet_id += 1;
+            }
+            let report = net.tick(now);
+            if report.ca_events.iter().any(|e| e.activated) {
+                activated = true;
+                break;
+            }
+        }
+        assert!(activated, "secondary cell activated under overload");
+        assert!(net.active_cells(ue).len() >= 2);
+        assert!(net.carrier_aggregation_triggered(ue));
+    }
+
+    #[test]
+    fn modest_load_never_triggers_carrier_aggregation() {
+        let mut net = network(CellLoadProfile::none());
+        let ue = add_default_ue(&mut net, 3);
+        let mut packet_id = 0u64;
+        for sf in 0..2000u64 {
+            let now = Instant::from_millis(sf);
+            // ~12 Mbit/s, far below the primary cell's capacity.
+            net.enqueue_packet(ue, packet_id, 1500, now);
+            packet_id += 1;
+            let report = net.tick(now);
+            assert!(report.ca_events.is_empty());
+        }
+        assert_eq!(net.active_cells(ue), vec![CellId(0)]);
+        assert!(!net.carrier_aggregation_triggered(ue));
+    }
+
+    #[test]
+    fn two_ues_share_and_both_make_progress() {
+        let mut net = network(CellLoadProfile::none());
+        let a = UeId(1);
+        let b = UeId(2);
+        net.add_ue(
+            UeConfig::new(a, vec![CellId(0)], 1, -85.0),
+            MobilityTrace::stationary(-85.0),
+        );
+        net.add_ue(
+            UeConfig::new(b, vec![CellId(0)], 1, -85.0),
+            MobilityTrace::stationary(-85.0),
+        );
+        let mut pid = 0u64;
+        let mut delivered_a = 0u64;
+        let mut delivered_b = 0u64;
+        for sf in 0..500u64 {
+            let now = Instant::from_millis(sf);
+            for _ in 0..10 {
+                net.enqueue_packet(a, pid, 1500, now);
+                pid += 1;
+                net.enqueue_packet(b, pid, 1500, now);
+                pid += 1;
+            }
+            let report = net.tick(now);
+            for d in report.deliveries.iter().filter(|d| d.delivered) {
+                if d.ue == a {
+                    delivered_a += 1;
+                } else if d.ue == b {
+                    delivered_b += 1;
+                }
+            }
+        }
+        assert!(delivered_a > 1000);
+        assert!(delivered_b > 1000);
+        let ratio = delivered_a as f64 / delivered_b as f64;
+        assert!((0.8..1.25).contains(&ratio), "delivery ratio {ratio}");
+    }
+
+    #[test]
+    fn background_traffic_consumes_prbs() {
+        let mut net = network(CellLoadProfile::busy());
+        let _ue = add_default_ue(&mut net, 1);
+        let mut allocated = 0u64;
+        for sf in 0..1000u64 {
+            let report = net.tick(Instant::from_millis(sf));
+            for c in &report.cell_reports {
+                if c.cell == CellId(0) {
+                    allocated += u64::from(c.prb_usage.allocated());
+                }
+            }
+        }
+        assert!(allocated > 5_000, "background users occupied PRBs: {allocated}");
+    }
+}

@@ -1,0 +1,203 @@
+//! In-order delivery: the RLC reordering buffer.
+//!
+//! The mobile buffers every transport block received out of sequence until
+//! the erroneous block ahead of it is successfully retransmitted, then
+//! releases the whole run to upper layers at once (paper §3, Fig. 3).  A
+//! retransmission therefore delays not only the packets in the erroneous
+//! block (by a multiple of 8 ms) but also the packets in the following blocks
+//! (by 7 ms down to 0 ms).  If a block exhausts its retransmissions the gap
+//! is abandoned and delivery resumes.
+
+use crate::harq::TransportBlock;
+use pbe_stats::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A transport block released to upper layers, with the time it was finally
+/// released (which is when its packets become visible to the transport
+/// layer).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleasedBlock {
+    /// The released transport block.
+    pub block: TransportBlock,
+    /// Time the block itself was received correctly over the air.
+    pub received_at: Instant,
+    /// Time the block was released in order to upper layers (>= received_at).
+    pub released_at: Instant,
+}
+
+/// Per-(UE, cell) reordering buffer keyed by RLC sequence number.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReorderBuffer {
+    /// Next sequence number expected for in-order release.
+    next_expected: u64,
+    /// Blocks received ahead of the next expected sequence.
+    buffered: BTreeMap<u64, (TransportBlock, Instant)>,
+    /// Peak number of blocks ever held (for diagnostics).
+    pub peak_buffered: usize,
+}
+
+impl ReorderBuffer {
+    /// New buffer expecting sequence 0 first.
+    pub fn new() -> Self {
+        ReorderBuffer::default()
+    }
+
+    /// Sequence number the buffer is waiting for.
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
+
+    /// Number of blocks currently buffered out of order.
+    pub fn buffered_count(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// A transport block was received correctly at `now`.  Returns every
+    /// block that can now be released in order (possibly empty if the block
+    /// is ahead of a gap).
+    pub fn on_block_received(&mut self, block: TransportBlock, now: Instant) -> Vec<ReleasedBlock> {
+        if block.sequence < self.next_expected {
+            // Duplicate of an already-released block (e.g. a late HARQ
+            // success after the gap was abandoned); ignore it.
+            return Vec::new();
+        }
+        self.buffered.insert(block.sequence, (block, now));
+        self.peak_buffered = self.peak_buffered.max(self.buffered.len());
+        self.release_in_order(now)
+    }
+
+    /// The network abandoned the block with this sequence number (it failed
+    /// its last retransmission).  Skips the gap and returns any blocks that
+    /// become releasable.
+    pub fn on_block_abandoned(&mut self, sequence: u64, now: Instant) -> Vec<ReleasedBlock> {
+        if sequence == self.next_expected {
+            self.next_expected += 1;
+            return self.release_in_order(now);
+        }
+        // An abandoned block that is not the head of line simply never
+        // arrives; nothing to release yet.
+        Vec::new()
+    }
+
+    fn release_in_order(&mut self, now: Instant) -> Vec<ReleasedBlock> {
+        let mut released = Vec::new();
+        while let Some((block, received_at)) = self.buffered.remove(&self.next_expected) {
+            self.next_expected += 1;
+            released.push(ReleasedBlock {
+                block,
+                received_at,
+                released_at: now.max(received_at),
+            });
+        }
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harq::Segment;
+
+    fn block(seq: u64) -> TransportBlock {
+        TransportBlock {
+            id: 1000 + seq,
+            sequence: seq,
+            tbs_bits: 8_000,
+            num_prbs: 10,
+            segments: vec![Segment {
+                packet_id: seq,
+                bytes: 1000,
+                is_last: true,
+            }],
+            first_tx_subframe: seq,
+        }
+    }
+
+    fn ms(v: u64) -> Instant {
+        Instant::from_millis(v)
+    }
+
+    #[test]
+    fn in_order_blocks_release_immediately() {
+        let mut buf = ReorderBuffer::new();
+        for seq in 0..5 {
+            let released = buf.on_block_received(block(seq), ms(seq));
+            assert_eq!(released.len(), 1);
+            assert_eq!(released[0].block.sequence, seq);
+            assert_eq!(released[0].released_at, ms(seq));
+        }
+        assert_eq!(buf.buffered_count(), 0);
+        assert_eq!(buf.next_expected(), 5);
+    }
+
+    #[test]
+    fn gap_holds_later_blocks_until_retransmission() {
+        // Mirrors the paper's Fig. 3: block 2 fails at t=2 ms, blocks 3..9
+        // arrive and are buffered, block 2's retransmission succeeds at
+        // t=10 ms and everything is released together.
+        let mut buf = ReorderBuffer::new();
+        assert_eq!(buf.on_block_received(block(0), ms(0)).len(), 1);
+        assert_eq!(buf.on_block_received(block(1), ms(1)).len(), 1);
+        // Block 2 lost; blocks 3..=9 arrive in subframes 3..=9.
+        for seq in 3..=9u64 {
+            assert!(buf.on_block_received(block(seq), ms(seq)).is_empty());
+        }
+        assert_eq!(buf.buffered_count(), 7);
+        assert_eq!(buf.peak_buffered, 7);
+        // Retransmission of block 2 succeeds 8 ms after its original slot.
+        let released = buf.on_block_received(block(2), ms(10));
+        assert_eq!(released.len(), 8);
+        assert_eq!(released[0].block.sequence, 2);
+        assert_eq!(released[7].block.sequence, 9);
+        // Everything is released at 10 ms: the retransmitted block was
+        // delayed 8 ms, block 3 was delayed 7 ms, block 9 was delayed 1 ms.
+        for r in &released {
+            assert_eq!(r.released_at, ms(10));
+        }
+        assert_eq!(released[1].received_at, ms(3));
+    }
+
+    #[test]
+    fn abandoned_gap_resumes_delivery() {
+        let mut buf = ReorderBuffer::new();
+        buf.on_block_received(block(0), ms(0));
+        for seq in 2..5u64 {
+            assert!(buf.on_block_received(block(seq), ms(seq)).is_empty());
+        }
+        // Block 1 exhausts its retransmissions at 25 ms.
+        let released = buf.on_block_abandoned(1, ms(25));
+        assert_eq!(released.len(), 3);
+        assert_eq!(released[0].block.sequence, 2);
+        assert!(released.iter().all(|r| r.released_at == ms(25)));
+        assert_eq!(buf.next_expected(), 5);
+    }
+
+    #[test]
+    fn abandoning_a_non_head_block_does_nothing_yet() {
+        let mut buf = ReorderBuffer::new();
+        assert!(buf.on_block_received(block(1), ms(1)).is_empty());
+        assert!(buf.on_block_abandoned(2, ms(20)).is_empty());
+        assert_eq!(buf.next_expected(), 0);
+    }
+
+    #[test]
+    fn duplicate_or_stale_blocks_are_ignored() {
+        let mut buf = ReorderBuffer::new();
+        buf.on_block_received(block(0), ms(0));
+        let again = buf.on_block_received(block(0), ms(5));
+        assert!(again.is_empty());
+        assert_eq!(buf.next_expected(), 1);
+    }
+
+    #[test]
+    fn released_at_never_precedes_received_at() {
+        let mut buf = ReorderBuffer::new();
+        assert!(buf.on_block_received(block(1), ms(9)).is_empty());
+        let released = buf.on_block_received(block(0), ms(3));
+        assert_eq!(released.len(), 2);
+        for r in released {
+            assert!(r.released_at >= r.received_at);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic end-to-end network simulator for the PBE-CC evaluation.
+//!
+//! The simulator reproduces the paper's testbed topology (Fig. 4 / Fig. 10a):
+//! a content server on the wired Internet, a wired path with its own
+//! propagation delay and (optionally) its own bottleneck link and queue, the
+//! cellular base station with per-UE queues and carrier aggregation
+//! (`pbe-cellular`), and the mobile receiver.  For PBE-CC flows the receiver
+//! side additionally runs the control-channel decoders, message fusion and
+//! the PBE client (`pbe-pdcch` + `pbe-core`), whose feedback is piggybacked
+//! on every acknowledgement exactly as in the paper's §5 prototype.
+//!
+//! The clock advances in 1 ms subframes (the cellular MAC granularity);
+//! within a tick the wired path and pacing operate at microsecond
+//! resolution.  All randomness is derived from a single experiment seed, so
+//! a run is exactly reproducible.
+
+pub mod flow;
+pub mod rate;
+pub mod sim;
+pub mod wired;
+
+pub use flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
+pub use rate::DeliveryRateEstimator;
+pub use sim::{SimConfig, SimResult, Simulation};
+pub use wired::WiredPath;

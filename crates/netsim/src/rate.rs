@@ -1,0 +1,106 @@
+//! Sender-side delivery-rate estimation.
+//!
+//! BBR-style algorithms need a per-ACK estimate of the rate at which data is
+//! actually being delivered to the receiver.  The estimator keeps a short
+//! sliding window of `(ack time, bytes acked)` samples and reports the byte
+//! rate over that window.
+
+use pbe_stats::time::{Duration, Instant};
+use std::collections::VecDeque;
+
+/// Windowed delivery-rate estimator.
+#[derive(Debug, Clone)]
+pub struct DeliveryRateEstimator {
+    window: Duration,
+    samples: VecDeque<(Instant, u64)>,
+    total_bytes: u64,
+}
+
+impl DeliveryRateEstimator {
+    /// Create an estimator with the given averaging window.
+    pub fn new(window: Duration) -> Self {
+        DeliveryRateEstimator {
+            window: window.max(Duration::from_millis(1)),
+            samples: VecDeque::new(),
+            total_bytes: 0,
+        }
+    }
+
+    /// Change the averaging window (typically the smoothed RTT).
+    pub fn set_window(&mut self, window: Duration) {
+        self.window = window.max(Duration::from_millis(1));
+    }
+
+    /// Record an acknowledgement of `bytes` at `now` and return the current
+    /// delivery-rate estimate in bits per second.
+    pub fn on_ack(&mut self, now: Instant, bytes: u64) -> f64 {
+        self.samples.push_back((now, bytes));
+        self.total_bytes += bytes;
+        self.expire(now);
+        self.rate_bps(now)
+    }
+
+    fn expire(&mut self, now: Instant) {
+        while let Some((t, b)) = self.samples.front() {
+            if now.saturating_since(*t) > self.window {
+                self.total_bytes -= *b;
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current rate estimate in bits per second.
+    pub fn rate_bps(&self, now: Instant) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let oldest = self.samples.front().expect("non-empty").0;
+        let span = now.saturating_since(oldest).as_secs_f64().max(self.window.as_secs_f64() * 0.25);
+        self.total_bytes as f64 * 8.0 / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_estimates_its_rate() {
+        let mut est = DeliveryRateEstimator::new(Duration::from_millis(100));
+        // 1500 B per ms = 12 Mbit/s.
+        let mut rate = 0.0;
+        for ms in 1..=500u64 {
+            rate = est.on_ack(Instant::from_millis(ms), 1500);
+        }
+        assert!((rate - 12e6).abs() / 12e6 < 0.1, "rate = {rate}");
+    }
+
+    #[test]
+    fn rate_decays_when_acks_stop() {
+        let mut est = DeliveryRateEstimator::new(Duration::from_millis(100));
+        for ms in 1..=200u64 {
+            est.on_ack(Instant::from_millis(ms), 1500);
+        }
+        let after_gap = est.on_ack(Instant::from_millis(400), 1500);
+        assert!(after_gap < 6e6, "old samples expired: {after_gap}");
+    }
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        let est = DeliveryRateEstimator::new(Duration::from_millis(100));
+        assert_eq!(est.rate_bps(Instant::from_millis(10)), 0.0);
+    }
+
+    #[test]
+    fn window_can_be_resized() {
+        let mut est = DeliveryRateEstimator::new(Duration::from_millis(10));
+        est.set_window(Duration::from_millis(200));
+        for ms in 1..=100u64 {
+            est.on_ack(Instant::from_millis(ms), 3000);
+        }
+        let rate = est.rate_bps(Instant::from_millis(100));
+        assert!((rate - 24e6).abs() / 24e6 < 0.15, "rate = {rate}");
+    }
+}

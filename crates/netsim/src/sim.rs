@@ -1,0 +1,564 @@
+//! The end-to-end simulation: servers, wired paths, the cellular network and
+//! the mobile receivers, advanced together one subframe at a time.
+
+use crate::flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
+use crate::rate::DeliveryRateEstimator;
+use crate::wired::WiredPath;
+use pbe_cc_algorithms::api::{AckInfo, CongestionControl, PbeFeedback, MSS_BYTES};
+use pbe_cc_algorithms::baseline_by_name;
+use pbe_cellular::carrier::CaEvent;
+use pbe_cellular::channel::MobilityTrace;
+use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
+use pbe_cellular::network::CellularNetwork;
+use pbe_cellular::traffic::CellLoadProfile;
+use pbe_core::client::{PbeClient, PbeClientConfig};
+use pbe_core::sender::PbeSender;
+use pbe_pdcch::decoder::{ControlChannelDecoder, DecoderConfig};
+use pbe_pdcch::fusion::MessageFusion;
+use pbe_stats::summary::FlowSummaryBuilder;
+use pbe_stats::time::{Duration, Instant, MICROS_PER_MS};
+use pbe_stats::DetRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cellular-network configuration (cells, CA policy, overheads).
+    pub cellular: CellularConfig,
+    /// Background-traffic load profile applied to every cell.
+    pub load: CellLoadProfile,
+    /// Experiment seed; everything stochastic derives from it.
+    pub seed: u64,
+    /// Simulated duration.
+    pub duration: Duration,
+    /// Mobile devices and their mobility traces.
+    pub ues: Vec<(UeConfig, MobilityTrace)>,
+    /// End-to-end flows.
+    pub flows: Vec<FlowConfig>,
+}
+
+impl SimConfig {
+    /// A single-UE, single-flow scenario on the default three-cell network.
+    pub fn single_flow(scheme: SchemeChoice, duration: Duration, load: CellLoadProfile, seed: u64) -> Self {
+        let ue = UeId(1);
+        SimConfig {
+            cellular: CellularConfig::default(),
+            load,
+            seed,
+            duration,
+            ues: vec![(
+                UeConfig::new(ue, vec![CellId(0), CellId(1), CellId(2)], 3, -85.0),
+                MobilityTrace::stationary(-85.0),
+            )],
+            flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
+        }
+    }
+}
+
+/// Per-UE average PRBs allocated by the primary cell over one 100 ms
+/// interval (the quantity plotted in the paper's Fig. 21).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrbInterval {
+    /// Interval start, seconds.
+    pub start_s: f64,
+    /// Average PRBs per subframe allocated to each foreground UE.
+    pub per_ue: HashMap<u32, f64>,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// One result per configured flow, in configuration order.
+    pub flows: Vec<FlowResult>,
+    /// Primary-cell PRB allocation timeline (100 ms intervals).
+    pub primary_prb_timeline: Vec<PrbInterval>,
+    /// Carrier aggregation events that occurred.
+    pub ca_events: Vec<CaEvent>,
+}
+
+impl SimResult {
+    /// Find a flow result by flow id.
+    pub fn flow(&self, id: u32) -> Option<&FlowResult> {
+        self.flows.iter().find(|f| f.id == id)
+    }
+}
+
+struct PbeReceiver {
+    decoders: HashMap<CellId, ControlChannelDecoder>,
+    fusion: MessageFusion,
+    client: PbeClient,
+}
+
+struct PendingEvent {
+    arrive_at: Instant,
+    packet_id: u64,
+    bytes: u64,
+    sent_at: Instant,
+    one_way_delay_ms: f64,
+    pbe: Option<PbeFeedback>,
+    lost: bool,
+}
+
+struct FlowState {
+    config: FlowConfig,
+    cc: Option<Box<dyn CongestionControl>>,
+    downlink: WiredPath,
+    allowance_bytes: f64,
+    inflight_bytes: u64,
+    sent_packets: HashMap<u64, (u64, Instant)>,
+    rate_est: DeliveryRateEstimator,
+    srtt: Duration,
+    pending: VecDeque<PendingEvent>,
+    summary: FlowSummaryBuilder,
+    receiver: Option<PbeReceiver>,
+    delivered: u64,
+    lost: u64,
+}
+
+/// The simulation driver.
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Create a simulation from its configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// Run the simulation to completion and produce the per-flow results.
+    pub fn run(&self) -> SimResult {
+        let cfg = &self.config;
+        let mut net = CellularNetwork::new(cfg.cellular.clone(), cfg.load, cfg.seed);
+        for (ue_cfg, trace) in &cfg.ues {
+            net.add_ue(ue_cfg.clone(), trace.clone());
+        }
+        let decoder_rng = DetRng::new(cfg.seed).split("decoders");
+
+        // Build per-flow state.
+        let mut flows: Vec<FlowState> = cfg
+            .flows
+            .iter()
+            .map(|f| {
+                let rtprop_hint = Duration::from_micros(2 * f.server_one_way_delay.as_micros() + 10_000);
+                let cc: Option<Box<dyn CongestionControl>> = match f.scheme {
+                    SchemeChoice::Pbe => Some(Box::new(PbeSender::with_defaults(rtprop_hint))),
+                    SchemeChoice::Baseline(name) => Some(baseline_by_name(name, rtprop_hint)),
+                    SchemeChoice::FixedRate => None,
+                };
+                let receiver = if matches!(f.scheme, SchemeChoice::Pbe) {
+                    let rnti = net.rnti_of(f.ue).expect("flow UE registered");
+                    let primary = cfg
+                        .ues
+                        .iter()
+                        .find(|(u, _)| u.id == f.ue)
+                        .map(|(u, _)| u.primary_cell())
+                        .expect("flow UE configured");
+                    let total_prbs = cfg.cellular.cell(primary).expect("primary cell exists").total_prbs();
+                    let mut decoders = HashMap::new();
+                    decoders.insert(
+                        primary,
+                        ControlChannelDecoder::new(
+                            primary,
+                            DecoderConfig {
+                                total_prbs,
+                                ..DecoderConfig::default()
+                            },
+                            decoder_rng.split_indexed("cell", u64::from(primary.0) << 16 | u64::from(f.id)),
+                        ),
+                    );
+                    Some(PbeReceiver {
+                        decoders,
+                        fusion: MessageFusion::new(vec![primary]),
+                        client: PbeClient::new(PbeClientConfig::new(rnti, vec![(primary, total_prbs)])),
+                    })
+                } else {
+                    None
+                };
+                let downlink = match f.wired_bottleneck_bps {
+                    Some(rate) => WiredPath::with_bottleneck(f.server_one_way_delay, rate, f.wired_queue_bytes),
+                    None => WiredPath::unconstrained(f.server_one_way_delay),
+                };
+                FlowState {
+                    cc,
+                    downlink,
+                    allowance_bytes: 0.0,
+                    inflight_bytes: 0,
+                    sent_packets: HashMap::new(),
+                    rate_est: DeliveryRateEstimator::new(rtprop_hint),
+                    srtt: rtprop_hint,
+                    pending: VecDeque::new(),
+                    summary: FlowSummaryBuilder::new(f.scheme.label()),
+                    receiver,
+                    delivered: 0,
+                    lost: 0,
+                    config: f.clone(),
+                }
+            })
+            .collect();
+
+        let mut packet_owner: HashMap<u64, usize> = HashMap::new();
+        let mut next_packet_id: u64 = 1;
+        let mut ca_events: Vec<CaEvent> = Vec::new();
+        let mut prb_timeline: Vec<PrbInterval> = Vec::new();
+        let mut prb_accum: HashMap<u32, f64> = HashMap::new();
+        let mut prb_accum_start = 0u64;
+        let primary_cell = cfg.cellular.cells.first().map(|c| c.id).unwrap_or(CellId(0));
+        let foreground_ues: Vec<UeId> = cfg.ues.iter().map(|(u, _)| u.id).collect();
+
+        let total_ms = cfg.duration.as_millis();
+        for t_ms in 0..total_ms {
+            let now = Instant::from_millis(t_ms);
+
+            // 1. Deliver ACKs / loss notifications that have reached the
+            //    sender, and let the congestion controller react.
+            for flow in flows.iter_mut() {
+                while let Some(front) = flow.pending.front() {
+                    if front.arrive_at > now {
+                        break;
+                    }
+                    let ev = flow.pending.pop_front().expect("non-empty");
+                    flow.sent_packets.remove(&ev.packet_id);
+                    flow.inflight_bytes = flow.inflight_bytes.saturating_sub(ev.bytes);
+                    if ev.lost {
+                        if let Some(cc) = flow.cc.as_mut() {
+                            cc.on_loss(now);
+                        }
+                        continue;
+                    }
+                    let rtt = now.saturating_since(ev.sent_at);
+                    flow.srtt = Duration::from_secs_f64(
+                        flow.srtt.as_secs_f64() * 0.875 + rtt.as_secs_f64() * 0.125,
+                    );
+                    flow.rate_est.set_window(flow.srtt);
+                    let delivery_rate = flow.rate_est.on_ack(now, ev.bytes);
+                    if let Some(cc) = flow.cc.as_mut() {
+                        cc.on_ack(&AckInfo {
+                            now,
+                            packet_id: ev.packet_id,
+                            bytes_acked: ev.bytes,
+                            rtt,
+                            one_way_delay_ms: ev.one_way_delay_ms,
+                            delivery_rate_bps: delivery_rate,
+                            inflight_bytes: flow.inflight_bytes,
+                            loss_detected: false,
+                            pbe: ev.pbe,
+                        });
+                    }
+                }
+            }
+
+            // 2. Senders release packets under pacing + cwnd control.
+            for (idx, flow) in flows.iter_mut().enumerate() {
+                if now < flow.config.start || now >= flow.config.stop {
+                    continue;
+                }
+                let (budget_bps, gate_by_cwnd) = match (&flow.config.app, flow.cc.as_ref()) {
+                    (AppModel::ConstantRate(r), _) => (*r, false),
+                    (AppModel::Bulk, Some(cc)) => (cc.pacing_rate_bps(), true),
+                    (AppModel::Bulk, None) => (12e6, false),
+                };
+                flow.allowance_bytes += budget_bps / 8.0 * 1e-3;
+                // Cap the carried-over allowance at one burst worth of data so
+                // an idle app cannot accumulate an unbounded token bucket.
+                flow.allowance_bytes = flow.allowance_bytes.min(budget_bps / 8.0 * 0.05 + 2.0 * MSS_BYTES as f64);
+                while flow.allowance_bytes >= MSS_BYTES as f64 {
+                    if gate_by_cwnd {
+                        let cwnd = flow.cc.as_ref().map(|c| c.cwnd_bytes()).unwrap_or(u64::MAX);
+                        if flow.inflight_bytes + MSS_BYTES > cwnd {
+                            break;
+                        }
+                    }
+                    let id = next_packet_id;
+                    next_packet_id += 1;
+                    flow.allowance_bytes -= MSS_BYTES as f64;
+                    if flow.downlink.send(id, MSS_BYTES as u32, now) {
+                        flow.sent_packets.insert(id, (MSS_BYTES, now));
+                        flow.inflight_bytes += MSS_BYTES;
+                        packet_owner.insert(id, idx);
+                        if let Some(cc) = flow.cc.as_mut() {
+                            cc.on_packet_sent(now, MSS_BYTES, flow.inflight_bytes);
+                        }
+                    } else {
+                        // Dropped at the wired bottleneck queue: the sender
+                        // learns about it roughly one RTT later.
+                        let notify = now + flow.srtt;
+                        flow.pending.push_back(PendingEvent {
+                            arrive_at: notify,
+                            packet_id: id,
+                            bytes: 0,
+                            sent_at: now,
+                            one_way_delay_ms: 0.0,
+                            pbe: None,
+                            lost: true,
+                        });
+                        flow.lost += 1;
+                    }
+                }
+            }
+
+            // 3. Wired arrivals reach the base station.
+            for flow in flows.iter_mut() {
+                for pkt in flow.downlink.arrivals(now) {
+                    net.enqueue_packet(flow.config.ue, pkt.id, pkt.bytes, now);
+                }
+            }
+
+            // 4. The radio access network advances one subframe.
+            let report = net.tick(now);
+            ca_events.extend(report.ca_events.iter().copied());
+
+            // 5. Carrier events adjust the PBE receivers' decoder sets.
+            for event in &report.ca_events {
+                for flow in flows.iter_mut() {
+                    if flow.config.ue != event.ue {
+                        continue;
+                    }
+                    let Some(receiver) = flow.receiver.as_mut() else { continue };
+                    if event.activated {
+                        let total_prbs = cfg
+                            .cellular
+                            .cell(event.cell)
+                            .map(|c| c.total_prbs())
+                            .unwrap_or(50);
+                        receiver.decoders.entry(event.cell).or_insert_with(|| {
+                            ControlChannelDecoder::new(
+                                event.cell,
+                                DecoderConfig {
+                                    total_prbs,
+                                    ..DecoderConfig::default()
+                                },
+                                decoder_rng.split_indexed(
+                                    "cell",
+                                    u64::from(event.cell.0) << 16 | u64::from(flow.config.id),
+                                ),
+                            )
+                        });
+                        receiver.client.add_cell(event.cell, total_prbs);
+                    } else {
+                        receiver.decoders.remove(&event.cell);
+                        receiver.client.remove_cell(event.cell);
+                    }
+                    let cells: Vec<CellId> = receiver.decoders.keys().copied().collect();
+                    receiver.fusion.set_watched_cells(cells);
+                }
+            }
+
+            // 6. PBE receivers decode this subframe's control channels.
+            let subframe = now.subframe_index();
+            for flow in flows.iter_mut() {
+                let Some(receiver) = flow.receiver.as_mut() else { continue };
+                let mut fused_ready = Vec::new();
+                for (cell, decoder) in receiver.decoders.iter_mut() {
+                    let decoded = decoder.decode_subframe(subframe, &report.dci_messages);
+                    fused_ready.extend(receiver.fusion.ingest(*cell, subframe, decoded));
+                }
+                for fused in fused_ready {
+                    receiver.client.on_subframe(&fused);
+                }
+                // Keep the client's averaging window matched to the flow RTT.
+                receiver.client.set_rtprop_ms(flow.srtt.as_millis_f64());
+            }
+
+            // 7. Packet deliveries at the UEs generate acknowledgements.
+            for d in &report.deliveries {
+                let Some(&owner) = packet_owner.get(&d.packet_id) else { continue };
+                let flow = &mut flows[owner];
+                let Some(&(bytes, sent_at)) = flow.sent_packets.get(&d.packet_id) else { continue };
+                packet_owner.remove(&d.packet_id);
+                let one_way = d.at.saturating_since(sent_at);
+                let ack_at = d.at + flow.config.server_one_way_delay;
+                if d.delivered {
+                    flow.delivered += 1;
+                    flow.summary.record_packet(d.at, bytes, one_way);
+                    let pbe = flow
+                        .receiver
+                        .as_mut()
+                        .map(|r| r.client.on_packet(d.at, one_way.as_millis_f64()));
+                    flow.pending.push_back(PendingEvent {
+                        arrive_at: ack_at,
+                        packet_id: d.packet_id,
+                        bytes,
+                        sent_at,
+                        one_way_delay_ms: one_way.as_millis_f64(),
+                        pbe,
+                        lost: false,
+                    });
+                } else {
+                    flow.lost += 1;
+                    flow.pending.push_back(PendingEvent {
+                        arrive_at: ack_at,
+                        packet_id: d.packet_id,
+                        bytes,
+                        sent_at,
+                        one_way_delay_ms: one_way.as_millis_f64(),
+                        pbe: None,
+                        lost: true,
+                    });
+                }
+            }
+
+            // 8. Primary-cell PRB accounting for the fairness timeline.
+            for cr in &report.cell_reports {
+                if cr.cell != primary_cell {
+                    continue;
+                }
+                for ue in &foreground_ues {
+                    let prbs = cr.prb_usage.allocated_to(*ue);
+                    if let Some(flow) = cfg.flows.iter().find(|f| f.ue == *ue) {
+                        *prb_accum.entry(flow.id).or_insert(0.0) += f64::from(prbs);
+                    }
+                }
+            }
+            if (t_ms + 1) % 100 == 0 {
+                let mut per_ue = HashMap::new();
+                for (flow_id, total) in prb_accum.drain() {
+                    per_ue.insert(flow_id, total / 100.0);
+                }
+                prb_timeline.push(PrbInterval {
+                    start_s: prb_accum_start as f64 / 1000.0,
+                    per_ue,
+                });
+                prb_accum_start = t_ms + 1;
+            }
+            let _ = MICROS_PER_MS; // keep the import meaningful for readers
+        }
+
+        // Finalise per-flow results.
+        let results = flows
+            .iter_mut()
+            .map(|flow| {
+                if let Some(cc) = flow.cc.as_ref() {
+                    flow.summary
+                        .set_internet_bottleneck_fraction(cc.internet_bottleneck_fraction());
+                }
+                flow.summary
+                    .set_carrier_aggregation_triggered(net.carrier_aggregation_triggered(flow.config.ue));
+                let windows = flow.summary.windows().windows();
+                FlowResult {
+                    id: flow.config.id,
+                    scheme: flow.config.scheme.label().to_string(),
+                    summary: flow.summary.build(),
+                    throughput_timeline_mbps: windows.iter().map(|w| w.throughput_mbps).collect(),
+                    delay_timeline_ms: windows.iter().map(|w| w.mean_delay_ms).collect(),
+                    packets_lost: flow.lost,
+                    packets_delivered: flow.delivered,
+                }
+            })
+            .collect();
+        SimResult {
+            flows: results,
+            primary_prb_timeline: prb_timeline,
+            ca_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbe_cc_algorithms::api::SchemeName;
+
+    fn quick(scheme: SchemeChoice, seconds: u64, load: CellLoadProfile) -> SimResult {
+        let cfg = SimConfig::single_flow(scheme, Duration::from_secs(seconds), load, 7);
+        Simulation::new(cfg).run()
+    }
+
+    #[test]
+    fn pbe_flow_achieves_high_throughput_and_low_delay_on_idle_cell() {
+        let result = quick(SchemeChoice::Pbe, 6, CellLoadProfile::none());
+        let flow = &result.flows[0];
+        assert!(
+            flow.summary.avg_throughput_mbps > 40.0,
+            "PBE throughput = {} Mbit/s",
+            flow.summary.avg_throughput_mbps
+        );
+        assert!(
+            flow.summary.p95_delay_ms < 80.0,
+            "PBE p95 delay = {} ms",
+            flow.summary.p95_delay_ms
+        );
+        assert!(flow.packets_delivered > 1000);
+    }
+
+    #[test]
+    fn bbr_flow_works_end_to_end() {
+        let result = quick(SchemeChoice::Baseline(SchemeName::Bbr), 6, CellLoadProfile::none());
+        let flow = &result.flows[0];
+        assert!(flow.summary.avg_throughput_mbps > 20.0, "BBR tput = {}", flow.summary.avg_throughput_mbps);
+        assert!(flow.packets_delivered > 1000);
+    }
+
+    #[test]
+    fn pbe_keeps_delay_lower_than_cubic_under_load() {
+        let pbe = quick(SchemeChoice::Pbe, 6, CellLoadProfile::none());
+        let cubic = quick(SchemeChoice::Baseline(SchemeName::Cubic), 6, CellLoadProfile::none());
+        let pbe_delay = pbe.flows[0].summary.p95_delay_ms;
+        let cubic_delay = cubic.flows[0].summary.p95_delay_ms;
+        assert!(
+            pbe_delay < cubic_delay,
+            "PBE p95 {pbe_delay} ms should undercut CUBIC p95 {cubic_delay} ms"
+        );
+    }
+
+    #[test]
+    fn constant_rate_flow_is_not_congestion_controlled() {
+        let ue = UeId(1);
+        let cfg = SimConfig {
+            flows: vec![FlowConfig {
+                app: AppModel::ConstantRate(12e6),
+                scheme: SchemeChoice::FixedRate,
+                ..FlowConfig::bulk(1, ue, SchemeChoice::FixedRate, Duration::from_secs(4))
+            }],
+            ..SimConfig::single_flow(SchemeChoice::FixedRate, Duration::from_secs(4), CellLoadProfile::none(), 3)
+        };
+        let result = Simulation::new(cfg).run();
+        let tput = result.flows[0].summary.avg_throughput_mbps;
+        assert!((tput - 12.0).abs() < 2.0, "constant-rate flow delivers ~12 Mbit/s, got {tput}");
+    }
+
+    #[test]
+    fn two_pbe_flows_share_the_primary_cell_fairly() {
+        let ue_a = UeId(1);
+        let ue_b = UeId(2);
+        let duration = Duration::from_secs(6);
+        let cfg = SimConfig {
+            cellular: CellularConfig::default(),
+            load: CellLoadProfile::none(),
+            seed: 11,
+            duration,
+            ues: vec![
+                (
+                    UeConfig::new(ue_a, vec![CellId(0)], 1, -85.0),
+                    MobilityTrace::stationary(-85.0),
+                ),
+                (
+                    UeConfig::new(ue_b, vec![CellId(0)], 1, -85.0),
+                    MobilityTrace::stationary(-85.0),
+                ),
+            ],
+            flows: vec![
+                FlowConfig::bulk(1, ue_a, SchemeChoice::Pbe, duration),
+                FlowConfig::bulk(2, ue_b, SchemeChoice::Pbe, duration),
+            ],
+        };
+        let result = Simulation::new(cfg).run();
+        let a = result.flows[0].summary.avg_throughput_mbps;
+        let b = result.flows[1].summary.avg_throughput_mbps;
+        let ratio = a / b;
+        assert!((0.7..1.4).contains(&ratio), "throughput ratio {ratio} ({a} vs {b})");
+        assert!(!result.primary_prb_timeline.is_empty());
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_seed() {
+        let a = quick(SchemeChoice::Pbe, 3, CellLoadProfile::busy());
+        let b = quick(SchemeChoice::Pbe, 3, CellLoadProfile::busy());
+        assert_eq!(
+            a.flows[0].summary.avg_throughput_mbps,
+            b.flows[0].summary.avg_throughput_mbps
+        );
+        assert_eq!(a.flows[0].packets_delivered, b.flows[0].packets_delivered);
+    }
+}

@@ -1,0 +1,278 @@
+//! Order statistics and running moments.
+//!
+//! The paper reports 10th/25th/50th/75th/90th/95th percentiles of one-way
+//! delay and of throughput averaged over 100 ms windows (Figures 12–14, 16,
+//! 18, 20, Table 1).  [`percentile`] implements the linear-interpolation
+//! estimator (type 7, the same convention MATLAB/NumPy use by default, which
+//! is what the authors' plotting scripts would have produced), and
+//! [`OnlineStats`] keeps Welford running moments for cheap averages.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear-interpolation percentile of a sample set.
+///
+/// `p` is in `[0, 100]`.  Returns `None` for an empty slice.  The input does
+/// not need to be sorted.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// Percentile of an already-sorted, finite sample set (ascending order).
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Convenience: several percentiles at once over one sort.
+pub fn percentiles(samples: &[f64], ps: &[f64]) -> Vec<Option<f64>> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
+        return ps.iter().map(|_| None).collect();
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    ps.iter().map(|p| Some(percentile_of_sorted(&sorted, *p))).collect()
+}
+
+/// Median of a sample set.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    percentile(samples, 50.0)
+}
+
+/// Running mean / variance / min / max via Welford's algorithm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Maximum observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_of_small_sets() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 95.0), Some(7.0));
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v: Vec<f64> = (1..=5).map(|x| x as f64).collect();
+        // rank = 0.95 * 4 = 3.8 -> 4 + 0.8*(5-4) = 4.8
+        let p95 = percentile(&v, 95.0).unwrap();
+        assert!((p95 - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_ignores_non_finite() {
+        let v = [1.0, f64::NAN, 3.0, f64::INFINITY];
+        assert_eq!(percentile(&v, 50.0), Some(2.0));
+    }
+
+    #[test]
+    fn multi_percentiles_match_single() {
+        let v: Vec<f64> = (0..100).map(|x| (x * 37 % 100) as f64).collect();
+        let ps = [10.0, 25.0, 50.0, 75.0, 90.0, 95.0];
+        let multi = percentiles(&v, &ps);
+        for (p, got) in ps.iter().zip(multi) {
+            assert_eq!(got, percentile(&v, *p));
+        }
+    }
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_ignores_nan() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        s.push(3.0);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let (left, right) = data.split_at(73);
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in left {
+            a.push(x);
+        }
+        for &x in right {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_within_range(mut v in proptest::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+            let got = percentile(&v, p).unwrap();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(got >= v[0] - 1e-9);
+            prop_assert!(got <= v[v.len() - 1] + 1e-9);
+        }
+
+        #[test]
+        fn percentile_monotone_in_p(v in proptest::collection::vec(-1e6f64..1e6, 1..100), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile(&v, lo).unwrap();
+            let b = percentile(&v, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn online_mean_matches_naive(v in proptest::collection::vec(-1e3f64..1e3, 1..300)) {
+            let mut s = OnlineStats::new();
+            for &x in &v {
+                s.push(x);
+            }
+            let naive = v.iter().sum::<f64>() / v.len() as f64;
+            prop_assert!((s.mean() - naive).abs() < 1e-6);
+        }
+    }
+}

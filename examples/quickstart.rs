@@ -1,0 +1,40 @@
+//! Quickstart: run one PBE-CC flow over a simulated cellular link and print
+//! its throughput/delay summary next to BBR on the same link.
+//!
+//! ```sh
+//! cargo run --release -p pbe-bench --example quickstart
+//! ```
+
+use pbe_cc_algorithms::api::SchemeName;
+use pbe_cellular::traffic::CellLoadProfile;
+use pbe_netsim::{SchemeChoice, SimConfig, Simulation};
+use pbe_stats::time::Duration;
+
+fn main() {
+    let duration = Duration::from_secs(8);
+    println!("PBE-CC quickstart: one 8-second bulk flow on an idle 20 MHz + 10 MHz cell pair.\n");
+    for (scheme, label) in [
+        (SchemeChoice::Pbe, "PBE-CC"),
+        (SchemeChoice::Baseline(SchemeName::Bbr), "BBR"),
+        (SchemeChoice::Baseline(SchemeName::Cubic), "CUBIC"),
+    ] {
+        // `SimConfig::single_flow` wires up the whole stack: the wired path,
+        // the eNodeB scheduler with carrier aggregation, HARQ and the
+        // reordering buffer, and (for PBE-CC) the control-channel decoders,
+        // message fusion and the PBE client at the receiver.
+        let config = SimConfig::single_flow(scheme, duration, CellLoadProfile::idle(), 42);
+        let result = Simulation::new(config).run();
+        let flow = &result.flows[0];
+        println!(
+            "{label:>7}: {:6.1} Mbit/s average throughput, {:5.1} ms average one-way delay, {:5.1} ms p95, {} packets ({} lost), CA triggered: {}",
+            flow.summary.avg_throughput_mbps,
+            flow.summary.avg_delay_ms,
+            flow.summary.p95_delay_ms,
+            flow.packets_delivered,
+            flow.packets_lost,
+            flow.summary.carrier_aggregation_triggered,
+        );
+    }
+    println!("\nPBE-CC should match (or beat) BBR's throughput at a fraction of its delay, and CUBIC");
+    println!("should show the classic bufferbloat pattern: similar throughput, much higher delay.");
+}
