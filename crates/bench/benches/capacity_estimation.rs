@@ -56,7 +56,8 @@ fn bench_monitor_ingest(c: &mut Criterion) {
 }
 
 fn bench_capacity_equations(c: &mut Criterion) {
-    let mut monitor = CellStatusMonitor::new(MonitorConfig::new(Rnti(0x100), vec![(CellId(0), 100)]));
+    let mut monitor =
+        CellStatusMonitor::new(MonitorConfig::new(Rnti(0x100), vec![(CellId(0), 100)]));
     for sf in 0..40u64 {
         monitor.ingest(&fused(sf, 8));
     }

@@ -15,7 +15,11 @@ fn messages(n: u16, subframe: u64) -> Vec<DciMessage> {
             cell: CellId(0),
             subframe,
             rnti: Rnti(0x100 + u),
-            format: if u % 2 == 0 { DciFormat::Format1 } else { DciFormat::Format2 },
+            format: if u % 2 == 0 {
+                DciFormat::Format1
+            } else {
+                DciFormat::Format2
+            },
             first_prb: u * 4,
             num_prbs: 4,
             mcs: McsIndex(12),
@@ -31,7 +35,8 @@ fn bench_blind_decoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("blind_decode_subframe");
     for n in [1u16, 4, 16] {
         group.bench_function(format!("{n}_messages"), |b| {
-            let mut dec = ControlChannelDecoder::new(CellId(0), DecoderConfig::default(), DetRng::new(5));
+            let mut dec =
+                ControlChannelDecoder::new(CellId(0), DecoderConfig::default(), DetRng::new(5));
             let mut sf = 0u64;
             b.iter(|| {
                 sf += 1;

@@ -24,7 +24,7 @@ fn bench_simulated_second(c: &mut Criterion) {
         };
         group.bench_function(label, |b| {
             b.iter(|| {
-                let cfg = SimConfig::single_flow(scheme, Duration::from_secs(1), load, 99);
+                let cfg = SimConfig::single_flow(scheme.clone(), Duration::from_secs(1), load, 99);
                 black_box(Simulation::new(cfg).run())
             })
         });

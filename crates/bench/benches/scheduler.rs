@@ -41,7 +41,14 @@ fn bench_cell_tick(c: &mut Criterion) {
         let ue = UeId(1);
         cell.attach(ue, Rnti(0x100));
         for i in 0..200_000u64 {
-            cell.enqueue(ue, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+            cell.enqueue(
+                ue,
+                QueuedPacket {
+                    id: i,
+                    bytes: 1500,
+                    enqueued_at: Instant::ZERO,
+                },
+            );
         }
         let state = ChannelModel::stationary(-85.0, 2, DetRng::new(3))
             .deterministic()

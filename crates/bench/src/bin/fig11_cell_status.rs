@@ -26,7 +26,8 @@ fn main() {
             // The 10 MHz cell serves roughly half the users of the 20 MHz one
             // and is switched off by the operator between 00:00 and 03:00.
             let off = cell_idx == 1 && hour < 3;
-            let profile = CellLoadProfile::busy().scaled(if off { 0.0 } else { factor * base_scale });
+            let profile =
+                CellLoadProfile::busy().scaled(if off { 0.0 } else { factor * base_scale });
             let mut bg = BackgroundTraffic::new(profile, DetRng::new(1100 + hour * 10 + cell_idx));
             let mut data_users = std::collections::HashSet::new();
             for sf in 0..subframes_per_hour {
@@ -39,7 +40,11 @@ fn main() {
             }
             counts.push(data_users.len());
         }
-        table.row(&[format!("{hour}"), format!("{}", counts[0]), format!("{}", counts[1])]);
+        table.row(&[
+            format!("{hour}"),
+            format!("{}", counts[0]),
+            format!("{}", counts[1]),
+        ]);
     }
     println!("{}", table.render());
 

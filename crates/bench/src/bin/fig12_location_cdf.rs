@@ -24,7 +24,8 @@ fn main() {
         let mut tputs = Vec::new();
         let mut delays = Vec::new();
         for loc in &locations {
-            let result = Simulation::new(loc.sim_config(scheme, Duration::from_secs(seconds))).run();
+            let result =
+                Simulation::new(loc.sim_config(scheme.clone(), Duration::from_secs(seconds))).run();
             tputs.push(result.flows[0].summary.avg_throughput_mbps);
             delays.push(result.flows[0].summary.p95_delay_ms);
         }
@@ -36,13 +37,21 @@ fn main() {
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
         let mut row = vec![format!("{q:.2}")];
         for (_, tputs, _) in &per_scheme {
-            row.push(format!("{:.1}", Cdf::from_samples(tputs.iter().copied()).quantile(q).unwrap_or(0.0)));
+            row.push(format!(
+                "{:.1}",
+                Cdf::from_samples(tputs.iter().copied())
+                    .quantile(q)
+                    .unwrap_or(0.0)
+            ));
         }
         a.row(&row);
     }
     let mut mean_row = vec!["mean".to_string()];
     for (_, tputs, _) in &per_scheme {
-        mean_row.push(format!("{:.1}", tputs.iter().sum::<f64>() / tputs.len() as f64));
+        mean_row.push(format!(
+            "{:.1}",
+            tputs.iter().sum::<f64>() / tputs.len() as f64
+        ));
     }
     a.row(&mean_row);
     println!("{}", a.render());
@@ -52,13 +61,21 @@ fn main() {
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
         let mut row = vec![format!("{q:.2}")];
         for (_, _, delays) in &per_scheme {
-            row.push(format!("{:.0}", Cdf::from_samples(delays.iter().copied()).quantile(q).unwrap_or(0.0)));
+            row.push(format!(
+                "{:.0}",
+                Cdf::from_samples(delays.iter().copied())
+                    .quantile(q)
+                    .unwrap_or(0.0)
+            ));
         }
         b.row(&row);
     }
     let mut mean_row = vec!["mean".to_string()];
     for (_, _, delays) in &per_scheme {
-        mean_row.push(format!("{:.0}", delays.iter().sum::<f64>() / delays.len() as f64));
+        mean_row.push(format!(
+            "{:.0}",
+            delays.iter().sum::<f64>() / delays.len() as f64
+        ));
     }
     b.row(&mean_row);
     println!("{}", b.render());

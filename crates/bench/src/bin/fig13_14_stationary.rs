@@ -17,17 +17,38 @@ fn representative_locations() -> Vec<(&'static str, Location)> {
         rssi_dbm: rssi,
     };
     vec![
-        ("Fig13a indoor 1CC busy", mk(100, LocationKind::Indoor, 1, true, -95.0)),
-        ("Fig13b indoor 2CC busy", mk(101, LocationKind::Indoor, 2, true, -93.0)),
-        ("Fig13c indoor 3CC busy", mk(102, LocationKind::Indoor, 3, true, -91.0)),
-        ("Fig13d indoor 3CC idle", mk(103, LocationKind::Indoor, 3, false, -91.0)),
-        ("Fig14a outdoor 2CC busy", mk(104, LocationKind::Outdoor, 2, true, -85.0)),
-        ("Fig14b outdoor 2CC idle", mk(105, LocationKind::Outdoor, 2, false, -85.0)),
+        (
+            "Fig13a indoor 1CC busy",
+            mk(100, LocationKind::Indoor, 1, true, -95.0),
+        ),
+        (
+            "Fig13b indoor 2CC busy",
+            mk(101, LocationKind::Indoor, 2, true, -93.0),
+        ),
+        (
+            "Fig13c indoor 3CC busy",
+            mk(102, LocationKind::Indoor, 3, true, -91.0),
+        ),
+        (
+            "Fig13d indoor 3CC idle",
+            mk(103, LocationKind::Indoor, 3, false, -91.0),
+        ),
+        (
+            "Fig14a outdoor 2CC busy",
+            mk(104, LocationKind::Outdoor, 2, true, -85.0),
+        ),
+        (
+            "Fig14b outdoor 2CC idle",
+            mk(105, LocationKind::Outdoor, 2, false, -85.0),
+        ),
     ]
 }
 
 fn main() {
-    let seconds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     println!("Figures 13/14 reproduction: 6 representative locations × 8 schemes × {seconds} s\n");
     for (label, loc) in representative_locations() {
         println!("=== {label} (RSSI {} dBm) ===\n", loc.rssi_dbm);
@@ -42,7 +63,8 @@ fn main() {
             "delay p95",
         ]);
         for (scheme, name) in paper_schemes() {
-            let result = Simulation::new(loc.sim_config(scheme, Duration::from_secs(seconds))).run();
+            let result =
+                Simulation::new(loc.sim_config(scheme, Duration::from_secs(seconds))).run();
             let s = &result.flows[0].summary;
             table.row(&[
                 name.to_string(),
@@ -57,7 +79,9 @@ fn main() {
         }
         println!("{}", table.render());
     }
-    println!("Paper reference: PBE-CC and BBR have comparable (highest) throughput, with PBE-CC at");
+    println!(
+        "Paper reference: PBE-CC and BBR have comparable (highest) throughput, with PBE-CC at"
+    );
     println!("markedly lower delay; Verus high throughput but excessive delay; CUBIC erratic;");
     println!("Copa/PCC/Vivace/Sprout low throughput with low delay.");
 }

@@ -2,11 +2,16 @@
 //! scheme drives the cellular network to activate carrier aggregation.
 //! Conservative schemes never offer enough load to trigger a secondary cell,
 //! leaving capacity unused.
+//!
+//! Built on `SimBuilder` + the observer API: carrier activations are counted
+//! straight off the `CaTriggered` event stream.
 
 use pbe_bench::scenarios::{paper_schemes, ScenarioLibrary};
 use pbe_bench::TextTable;
-use pbe_netsim::Simulation;
+use pbe_netsim::{SimBuilder, SimEvent};
 use pbe_stats::time::Duration;
+use std::cell::Cell;
+use std::rc::Rc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,8 +35,18 @@ fn main() {
     for (scheme, name) in paper_schemes() {
         let mut triggered = 0usize;
         for loc in &locations {
-            let result = Simulation::new(loc.sim_config(scheme, Duration::from_secs(seconds))).run();
-            if result.flows[0].summary.carrier_aggregation_triggered {
+            let activated: Rc<Cell<bool>> = Rc::default();
+            let sink = activated.clone();
+            SimBuilder::from_config(loc.sim_config(scheme.clone(), Duration::from_secs(seconds)))
+                .observe(move |event: &SimEvent<'_>| {
+                    if let SimEvent::CaTriggered { event } = event {
+                        if event.activated {
+                            sink.set(true);
+                        }
+                    }
+                })
+                .run();
+            if activated.get() {
                 triggered += 1;
             }
         }

@@ -31,13 +31,21 @@ fn run(scheme: SchemeChoice, seconds: u64) -> SimResult {
 }
 
 fn main() {
-    let seconds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
     println!("Figure 16 reproduction: mobility walk -85 -> -105 -> -85 dBm over {seconds} s\n");
-    let mut table = TextTable::new(&["scheme", "avg tput (Mbit/s)", "median delay (ms)", "p95 delay (ms)"]);
+    let mut table = TextTable::new(&[
+        "scheme",
+        "avg tput (Mbit/s)",
+        "median delay (ms)",
+        "p95 delay (ms)",
+    ]);
     let mut pbe_result = None;
     let mut bbr_result = None;
     for (scheme, name) in paper_schemes() {
-        let result = run(scheme, seconds);
+        let result = run(scheme.clone(), seconds);
         let s = &result.flows[0].summary;
         table.row(&[
             name.to_string(),
@@ -63,7 +71,11 @@ fn main() {
             let lo = i * 20;
             let hi = ((i + 1) * 20).min(f.throughput_timeline_mbps.len());
             let tput = median(&f.throughput_timeline_mbps[lo..hi]).unwrap_or(0.0);
-            let delays: Vec<f64> = f.delay_timeline_ms[lo..hi].iter().flatten().copied().collect();
+            let delays: Vec<f64> = f.delay_timeline_ms[lo..hi]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
             (tput, median(&delays).unwrap_or(0.0))
         };
         let (pt, pd) = slice(&pbe);
@@ -77,6 +89,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("Paper reference: PBE-CC tracks the capacity drop (13-26 s) and recovery (26-30 s) with");
+    println!(
+        "Paper reference: PBE-CC tracks the capacity drop (13-26 s) and recovery (26-30 s) with"
+    );
     println!("near-zero queueing; BBR overreacts to the drop and overshoots on recovery, inflating delay.");
 }

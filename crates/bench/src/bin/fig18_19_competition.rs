@@ -52,13 +52,21 @@ fn run(scheme: SchemeChoice, seconds: u64) -> SimResult {
 }
 
 fn main() {
-    let seconds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
     println!("Figure 18 reproduction: on-off 60 Mbit/s competitor, {seconds} s runs\n");
-    let mut table = TextTable::new(&["scheme", "avg tput (Mbit/s)", "avg delay (ms)", "p95 delay (ms)"]);
+    let mut table = TextTable::new(&[
+        "scheme",
+        "avg tput (Mbit/s)",
+        "avg delay (ms)",
+        "p95 delay (ms)",
+    ]);
     let mut pbe_result = None;
     let mut bbr_result = None;
     for (scheme, name) in paper_schemes() {
-        let result = run(scheme, seconds);
+        let result = run(scheme.clone(), seconds);
         let s = &result.flows[0].summary;
         table.row(&[
             name.to_string(),
@@ -76,11 +84,19 @@ fn main() {
 
     println!("Figure 19: 200 ms-granularity timeline (competitor on during shaded intervals)\n");
     let (pbe, bbr) = (pbe_result.expect("pbe"), bbr_result.expect("bbr"));
-    let mut t = TextTable::new(&["t (s)", "competitor", "PBE tput", "PBE delay", "BBR tput", "BBR delay"]);
+    let mut t = TextTable::new(&[
+        "t (s)",
+        "competitor",
+        "PBE tput",
+        "PBE delay",
+        "BBR tput",
+        "BBR delay",
+    ]);
     let windows = pbe.flows[0].throughput_timeline_mbps.len();
     for w in (0..windows).step_by(2) {
         let time_s = w as f64 * 0.1;
-        let competitor_on = ((time_s as u64).saturating_sub(4) / 4) % 2 == 0 && time_s >= 4.0;
+        let competitor_on =
+            ((time_s as u64).saturating_sub(4) / 4).is_multiple_of(2) && time_s >= 4.0;
         let cell = |r: &SimResult| {
             let f = &r.flows[0];
             (
@@ -92,7 +108,11 @@ fn main() {
         let (bt, bd) = cell(&bbr);
         t.row(&[
             format!("{time_s:.1}"),
-            if competitor_on { "on".into() } else { "".into() },
+            if competitor_on {
+                "on".into()
+            } else {
+                "".into()
+            },
             format!("{pt:.1}"),
             format!("{pd:.0}"),
             format!("{bt:.1}"),

@@ -11,7 +11,10 @@ use pbe_netsim::{FlowConfig, SimConfig, Simulation};
 use pbe_stats::time::Duration;
 
 fn main() {
-    let seconds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     println!("Figure 20 reproduction: two concurrent flows from one device to two servers ({seconds} s)\n");
     let mut table = TextTable::new(&[
         "scheme",
@@ -34,9 +37,9 @@ fn main() {
                 MobilityTrace::stationary(-87.0),
             )],
             flows: vec![
-                FlowConfig::bulk(1, ue, scheme, duration)
+                FlowConfig::bulk(1, ue, scheme.clone(), duration)
                     .with_one_way_delay(Duration::from_millis(24)),
-                FlowConfig::bulk(2, ue, scheme, duration)
+                FlowConfig::bulk(2, ue, scheme.clone(), duration)
                     .with_one_way_delay(Duration::from_millis(32)),
             ],
         };

@@ -6,15 +6,22 @@
 //! against one BBR flow, (d) two PBE-CC flows against one CUBIC flow.  The
 //! binary prints the per-second PRB allocation of the primary cell and
 //! Jain's fairness index for the two- and three-flow periods.
+//!
+//! Built on `SimBuilder` + the observer API: the PRB timeline is collected
+//! by a custom observer from the `SubframeScheduled` event stream — the same
+//! stream the simulator's own metrics use — instead of a simulator hook.
 
 use pbe_bench::TextTable;
 use pbe_cc_algorithms::api::SchemeName;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation};
+use pbe_netsim::{FlowConfig, SchemeChoice, SimBuilder, SimEvent};
 use pbe_stats::jain::jain_index;
 use pbe_stats::time::{Duration, Instant};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 struct Case {
     label: &'static str,
@@ -22,78 +29,119 @@ struct Case {
     delays_ms: [u64; 3],
 }
 
-fn run_case(case: &Case, total_s: u64) -> SimResult {
+/// Per-100 ms average PRBs of the primary cell for each foreground UE,
+/// accumulated from the `SubframeScheduled` events.
+#[derive(Default)]
+struct PrbTimeline {
+    intervals: Vec<(f64, HashMap<u32, f64>)>,
+    accum: HashMap<u32, f64>,
+    interval_start_ms: u64,
+}
+
+fn run_case(case: &Case, total_s: u64) -> Vec<(f64, HashMap<u32, f64>)> {
     let duration = Duration::from_secs(total_s);
     // Start/stop pattern scaled from the paper's 60 s to `total_s`.
     let scale = total_s as f64 / 60.0;
     let starts = [0.0, 10.0 * scale, 20.0 * scale];
     let stops = [60.0 * scale, 50.0 * scale, 40.0 * scale];
     let ues = [UeId(1), UeId(2), UeId(3)];
-    let flows = (0..3)
-        .map(|i| {
-            FlowConfig::bulk(i as u32 + 1, ues[i], case.schemes[i], duration)
+
+    let timeline: Rc<RefCell<PrbTimeline>> = Rc::default();
+    let sink = timeline.clone();
+    let mut builder = SimBuilder::new()
+        .cell_profile(CellularConfig::default(), CellLoadProfile::none())
+        .seed(21)
+        .duration(duration)
+        .observe(move |event: &SimEvent<'_>| {
+            let SimEvent::SubframeScheduled { now, report } = event else {
+                return;
+            };
+            let mut tl = sink.borrow_mut();
+            for cr in &report.cell_reports {
+                if cr.cell != CellId(0) {
+                    continue;
+                }
+                for (i, ue) in [UeId(1), UeId(2), UeId(3)].iter().enumerate() {
+                    *tl.accum.entry(i as u32 + 1).or_insert(0.0) +=
+                        f64::from(cr.prb_usage.allocated_to(*ue));
+                }
+            }
+            let t_ms = now.as_millis();
+            if (t_ms + 1) % 100 == 0 {
+                let start_s = tl.interval_start_ms as f64 / 1000.0;
+                let per_flow: HashMap<u32, f64> = tl
+                    .accum
+                    .drain()
+                    .map(|(id, total)| (id, total / 100.0))
+                    .collect();
+                tl.intervals.push((start_s, per_flow));
+                tl.interval_start_ms = t_ms + 1;
+            }
+        });
+    for ue in ues {
+        builder = builder.ue(
+            UeConfig::new(ue, vec![CellId(0)], 1, -86.0),
+            MobilityTrace::stationary(-86.0),
+        );
+    }
+    for i in 0..3 {
+        builder = builder.flow(
+            FlowConfig::bulk(i as u32 + 1, ues[i], case.schemes[i].clone(), duration)
                 .with_one_way_delay(Duration::from_millis(case.delays_ms[i]))
                 .with_lifetime(
                     Instant::from_millis((starts[i] * 1000.0) as u64),
                     Instant::from_millis((stops[i] * 1000.0) as u64),
-                )
-        })
-        .collect();
-    let cfg = SimConfig {
-        cellular: CellularConfig::default(),
-        load: CellLoadProfile::none(),
-        seed: 21,
-        duration,
-        ues: ues
-            .iter()
-            .map(|ue| {
-                (
-                    UeConfig::new(*ue, vec![CellId(0)], 1, -86.0),
-                    MobilityTrace::stationary(-86.0),
-                )
-            })
-            .collect(),
-        flows,
-    };
-    Simulation::new(cfg).run()
+                ),
+        );
+    }
+    builder.run();
+    Rc::try_unwrap(timeline)
+        .unwrap_or_else(|_| panic!("observer dropped with the simulation"))
+        .into_inner()
+        .intervals
 }
 
 fn main() {
-    let total_s: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(18);
+    let total_s: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(18);
     let pbe = SchemeChoice::Pbe;
+    let bbr = SchemeChoice::Baseline(SchemeName::Bbr);
+    let cubic = SchemeChoice::Baseline(SchemeName::Cubic);
     let cases = [
         Case {
             label: "(a) three PBE flows, similar RTTs",
-            schemes: [pbe, pbe, pbe],
+            schemes: [pbe.clone(), pbe.clone(), pbe.clone()],
             delays_ms: [24, 26, 28],
         },
         Case {
             label: "(b) three PBE flows, RTTs 52/64/297 ms",
-            schemes: [pbe, pbe, pbe],
+            schemes: [pbe.clone(), pbe.clone(), pbe.clone()],
             delays_ms: [26, 32, 148],
         },
         Case {
             label: "(c) two PBE flows + one BBR flow",
-            schemes: [pbe, SchemeChoice::Baseline(SchemeName::Bbr), pbe],
+            schemes: [pbe.clone(), bbr, pbe.clone()],
             delays_ms: [24, 26, 28],
         },
         Case {
             label: "(d) two PBE flows + one CUBIC flow",
-            schemes: [pbe, SchemeChoice::Baseline(SchemeName::Cubic), pbe],
+            schemes: [pbe.clone(), cubic, pbe.clone()],
             delays_ms: [24, 26, 28],
         },
     ];
     println!("Figure 21 reproduction (flow lifetimes scaled from 60 s to {total_s} s)\n");
     for case in &cases {
-        let result = run_case(case, total_s);
+        let intervals = run_case(case, total_s);
         println!("=== {} ===\n", case.label);
         let mut table = TextTable::new(&["t (s)", "flow1 PRBs", "flow2 PRBs", "flow3 PRBs"]);
-        for interval in result.primary_prb_timeline.iter().step_by(10) {
+        for (start_s, per_flow) in intervals.iter().step_by(10) {
             table.row(&[
-                format!("{:.0}", interval.start_s),
-                format!("{:.0}", interval.per_ue.get(&1).copied().unwrap_or(0.0)),
-                format!("{:.0}", interval.per_ue.get(&2).copied().unwrap_or(0.0)),
-                format!("{:.0}", interval.per_ue.get(&3).copied().unwrap_or(0.0)),
+                format!("{start_s:.0}"),
+                format!("{:.0}", per_flow.get(&1).copied().unwrap_or(0.0)),
+                format!("{:.0}", per_flow.get(&2).copied().unwrap_or(0.0)),
+                format!("{:.0}", per_flow.get(&3).copied().unwrap_or(0.0)),
             ]);
         }
         println!("{}", table.render());
@@ -105,11 +153,10 @@ fn main() {
             let totals: Vec<f64> = flows
                 .iter()
                 .map(|id| {
-                    result
-                        .primary_prb_timeline
+                    intervals
                         .iter()
-                        .filter(|iv| iv.start_s >= lo_s && iv.start_s < hi_s)
-                        .map(|iv| iv.per_ue.get(id).copied().unwrap_or(0.0))
+                        .filter(|(start_s, _)| *start_s >= lo_s && *start_s < hi_s)
+                        .map(|(_, per_flow)| per_flow.get(id).copied().unwrap_or(0.0))
                         .sum()
                 })
                 .collect();
@@ -117,8 +164,14 @@ fn main() {
         };
         let two = jain_over(10.0 * scale, 20.0 * scale, &[1, 2]);
         let three = jain_over(20.0 * scale, 40.0 * scale, &[1, 2, 3]);
-        println!("Jain's index: two concurrent flows {:.2}%, three concurrent flows {:.2}%\n", two * 100.0, three * 100.0);
+        println!(
+            "Jain's index: two concurrent flows {:.2}%, three concurrent flows {:.2}%\n",
+            two * 100.0,
+            three * 100.0
+        );
     }
-    println!("Paper reference: Jain's index 98.3-99.97% in every case; the base station's fairness");
+    println!(
+        "Paper reference: Jain's index 98.3-99.97% in every case; the base station's fairness"
+    );
     println!("policy keeps CUBIC/BBR from starving the PBE-CC flows.");
 }

@@ -6,77 +6,128 @@
 //! the secondary cell is deactivated.  The binary prints the per-100 ms PRB
 //! allocation on both cells and the packet delay, i.e. the series Fig. 2
 //! plots.
+//!
+//! Built on `SimBuilder` + the observer API: the delay/throughput timeline
+//! comes from a `FlowSummaryBuilder` fed by `PacketDelivered` events, and
+//! the carrier events from `CaTriggered` — no bespoke simulator hooks.
 
 use pbe_bench::TextTable;
+use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimConfig, Simulation};
+use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimBuilder, SimEvent};
+use pbe_stats::summary::FlowSummaryBuilder;
 use pbe_stats::time::{Duration, Instant};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Default)]
+struct Fig2Telemetry {
+    summary: Option<FlowSummaryBuilder>,
+    ca_events: Vec<CaEvent>,
+}
 
 fn main() {
     let ue = UeId(1);
     // Weak channel so 40 Mbit/s genuinely exceeds the primary cell's share.
     let rssi = -103.0;
     let duration = Duration::from_secs(5);
-    let mut cellular = CellularConfig::default();
-    cellular.ca_activation_subframes = 100;
-    cellular.ca_deactivation_subframes = 300;
-    let flows = vec![
-        FlowConfig {
-            app: AppModel::ConstantRate(40e6),
-            ..FlowConfig::bulk(1, ue, SchemeChoice::FixedRate, duration)
-        }
-        .with_lifetime(Instant::ZERO, Instant::from_secs(2)),
-        FlowConfig {
-            app: AppModel::ConstantRate(6e6),
-            ..FlowConfig::bulk(2, ue, SchemeChoice::FixedRate, duration)
-        }
-        .with_lifetime(Instant::from_secs(2), Instant::from_secs(5)),
-    ];
-    let cfg = SimConfig {
-        cellular,
-        load: CellLoadProfile::none(),
-        seed: 2,
-        duration,
-        ues: vec![(
+    let cellular = CellularConfig {
+        ca_activation_subframes: 100,
+        ca_deactivation_subframes: 300,
+        ..CellularConfig::default()
+    };
+
+    let telemetry: Rc<RefCell<Fig2Telemetry>> = Rc::default();
+    telemetry.borrow_mut().summary = Some(FlowSummaryBuilder::new("Fixed"));
+    let sink = telemetry.clone();
+
+    SimBuilder::new()
+        .cell_profile(cellular, CellLoadProfile::none())
+        .seed(2)
+        .duration(duration)
+        .ue(
             UeConfig::new(ue, vec![CellId(0), CellId(1)], 2, rssi),
             MobilityTrace::stationary(rssi),
-        )],
-        flows,
-    };
-    let result = Simulation::new(cfg).run();
+        )
+        .flow(
+            FlowConfig {
+                app: AppModel::ConstantRate(40e6),
+                ..FlowConfig::bulk(1, ue, SchemeChoice::FixedRate, duration)
+            }
+            .with_lifetime(Instant::ZERO, Instant::from_secs(2)),
+        )
+        .flow(
+            FlowConfig {
+                app: AppModel::ConstantRate(6e6),
+                ..FlowConfig::bulk(2, ue, SchemeChoice::FixedRate, duration)
+            }
+            .with_lifetime(Instant::from_secs(2), Instant::from_secs(5)),
+        )
+        .observe(move |event: &SimEvent<'_>| {
+            let mut t = sink.borrow_mut();
+            match event {
+                SimEvent::PacketDelivered {
+                    flow: 1,
+                    at,
+                    bytes,
+                    one_way,
+                    delivered: true,
+                    ..
+                } => {
+                    t.summary
+                        .as_mut()
+                        .expect("initialised")
+                        .record_packet(*at, *bytes, *one_way);
+                }
+                SimEvent::CaTriggered { event } => t.ca_events.push(*event),
+                _ => {}
+            }
+        })
+        .run();
 
+    let mut telemetry = telemetry.borrow_mut();
+    let windows = telemetry
+        .summary
+        .as_mut()
+        .expect("initialised")
+        .windows()
+        .windows()
+        .to_vec();
     println!("Figure 2 reproduction: 40 Mbit/s offered load for 2 s, then 6 Mbit/s.\n");
     let mut table = TextTable::new(&["t (s)", "delay (ms)", "tput (Mbit/s)"]);
-    for (i, w) in result.flows[0]
-        .throughput_timeline_mbps
-        .iter()
-        .zip(&result.flows[0].delay_timeline_ms)
-        .enumerate()
-        .map(|(i, (t, d))| (i, (t, d)))
-    {
-        let (tput, delay) = w;
+    for (i, w) in windows.iter().enumerate() {
         table.row(&[
             format!("{:.1}", i as f64 * 0.1),
-            delay.map(|d| format!("{d:.1}")).unwrap_or_else(|| "-".into()),
-            format!("{tput:.1}"),
+            w.mean_delay_ms
+                .map(|d| format!("{d:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.1}", w.throughput_mbps),
         ]);
     }
     println!("{}", table.render());
 
     println!("Carrier aggregation events:");
-    for e in &result.ca_events {
+    for e in &telemetry.ca_events {
         println!(
             "  t = {:.2} s: {} {}",
             e.at.as_secs_f64(),
-            if e.activated { "activated" } else { "deactivated" },
+            if e.activated {
+                "activated"
+            } else {
+                "deactivated"
+            },
             e.cell
         );
     }
-    if result.ca_events.is_empty() {
+    if telemetry.ca_events.is_empty() {
         println!("  (none)");
     }
-    println!("\nPaper reference: secondary cell activated ~0.13 s after the 40 Mbit/s flow starts,");
-    println!("queue drained within ~0.6 s, secondary cell deactivated after the rate drops to 6 Mbit/s.");
+    println!(
+        "\nPaper reference: secondary cell activated ~0.13 s after the 40 Mbit/s flow starts,"
+    );
+    println!(
+        "queue drained within ~0.6 s, secondary cell deactivated after the rate drops to 6 Mbit/s."
+    );
 }

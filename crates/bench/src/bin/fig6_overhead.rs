@@ -55,6 +55,8 @@ fn main() {
         ]);
     }
     println!("{}", b.render());
-    println!("Paper reference: protocol overhead flat at 6.8%; retransmission overhead grows with load");
+    println!(
+        "Paper reference: protocol overhead flat at 6.8%; retransmission overhead grows with load"
+    );
     println!("and is larger on the weak (-113 dBm) link; TB error rate follows 1-(1-p)^L.");
 }

@@ -6,8 +6,8 @@
 use pbe_bench::TextTable;
 use pbe_cellular::config::{CellId, Rnti};
 use pbe_cellular::dci::{DciFormat, DciMessage};
-use pbe_cellular::traffic::{BackgroundTraffic, CellLoadProfile};
 use pbe_cellular::mcs::transport_block_size;
+use pbe_cellular::traffic::{BackgroundTraffic, CellLoadProfile};
 use pbe_pdcch::fusion::FusedSubframe;
 use pbe_pdcch::monitor::{CellStatusMonitor, MonitorConfig};
 use pbe_stats::{Cdf, DetRng};
@@ -43,7 +43,11 @@ fn main() {
                     cell: CellId(0),
                     subframe: sf,
                     rnti: g.rnti,
-                    format: if g.is_control { DciFormat::Format1A } else { DciFormat::Format1 },
+                    format: if g.is_control {
+                        DciFormat::Format1A
+                    } else {
+                        DciFormat::Format1
+                    },
                     first_prb: 0,
                     num_prbs: g.prbs,
                     mcs: g.cqi.to_mcs(),
@@ -55,7 +59,10 @@ fn main() {
             }
             let mut per_cell = HashMap::new();
             per_cell.insert(CellId(0), msgs);
-            monitor.ingest(&FusedSubframe { subframe: sf, per_cell });
+            monitor.ingest(&FusedSubframe {
+                subframe: sf,
+                per_cell,
+            });
         }
         raw_users.push(per_window.len() as f64);
         let snap = monitor.snapshot(CellId(0)).expect("cell tracked");
@@ -74,13 +81,18 @@ fn main() {
             format!("{:.1}", filtered.quantile(q).unwrap_or(0.0)),
         ]);
     }
-    a.row(&["mean".into(), format!("{:.1}", raw.mean()), format!("{:.1}", filtered.mean())]);
+    a.row(&[
+        "mean".into(),
+        format!("{:.1}", raw.mean()),
+        format!("{:.1}", filtered.mean()),
+    ]);
     println!("{}", a.render());
 
     println!("Figure 7(b): per-user activity length and average occupied PRBs\n");
     let lens = Cdf::from_samples(activity_len.values().map(|v| *v as f64));
     let prbs = Cdf::from_samples(occupied.values().map(|(p, n)| *p as f64 / *n as f64));
-    let one_subframe = activity_len.values().filter(|v| **v == 1).count() as f64 / activity_len.len() as f64;
+    let one_subframe =
+        activity_len.values().filter(|v| **v == 1).count() as f64 / activity_len.len() as f64;
     let four_prbs = occupied
         .values()
         .filter(|(p, n)| (*p as f64 / *n as f64 - 4.0).abs() < 0.5)
@@ -95,7 +107,15 @@ fn main() {
         ]);
     }
     println!("{}", b.render());
-    println!("Users active exactly 1 subframe: {:.1}% (paper: 68.2%)", one_subframe * 100.0);
-    println!("Users averaging exactly 4 PRBs:  {:.1}% (paper: 47.7%)", four_prbs * 100.0);
-    println!("\nPaper reference: ~15.8 users on average (max 28) before filtering, ~1.3 (max 7) after.");
+    println!(
+        "Users active exactly 1 subframe: {:.1}% (paper: 68.2%)",
+        one_subframe * 100.0
+    );
+    println!(
+        "Users averaging exactly 4 PRBs:  {:.1}% (paper: 47.7%)",
+        four_prbs * 100.0
+    );
+    println!(
+        "\nPaper reference: ~15.8 users on average (max 28) before filtering, ~1.3 (max 7) after."
+    );
 }

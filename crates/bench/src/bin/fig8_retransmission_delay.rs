@@ -12,7 +12,10 @@ use pbe_stats::percentile::percentile;
 use pbe_stats::time::Duration;
 
 fn main() {
-    let seconds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seconds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     println!("Figure 8 reproduction: one-way delay distribution vs offered load ({seconds} s per load)\n");
     let mut table = TextTable::new(&[
         "offered load (Mbit/s)",
@@ -47,11 +50,10 @@ fn main() {
             .copied()
             .collect();
         let summary = &result.flows[0].summary;
-        let min = summary.delay_percentiles_ms[0].min(
-            delays.iter().copied().fold(f64::INFINITY, f64::min),
-        );
-        let spikes = delays.iter().filter(|d| **d > min + 8.0).count() as f64
-            / delays.len().max(1) as f64;
+        let min = summary.delay_percentiles_ms[0]
+            .min(delays.iter().copied().fold(f64::INFINITY, f64::min));
+        let spikes =
+            delays.iter().filter(|d| **d > min + 8.0).count() as f64 / delays.len().max(1) as f64;
         table.row(&[
             format!("{load_mbps:.0}"),
             format!("{min:.1}"),

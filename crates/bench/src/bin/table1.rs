@@ -49,14 +49,20 @@ fn main() {
         if locs.is_empty() {
             continue;
         }
-        let pbe: Vec<FlowSummary> = locs.iter().map(|l| run(l, SchemeChoice::Pbe, seconds)).collect();
+        let pbe: Vec<FlowSummary> = locs
+            .iter()
+            .map(|l| run(l, SchemeChoice::Pbe, seconds))
+            .collect();
         for (i, _) in locs.iter().enumerate() {
             let slot = if busy { 0 } else { 1 };
             internet_fraction[slot].0 += pbe[i].internet_bottleneck_fraction;
             internet_fraction[slot].1 += 1;
         }
-        for (scheme, name) in comparators {
-            let other: Vec<FlowSummary> = locs.iter().map(|l| run(l, scheme, seconds)).collect();
+        for (scheme, name) in &comparators {
+            let other: Vec<FlowSummary> = locs
+                .iter()
+                .map(|l| run(l, scheme.clone(), seconds))
+                .collect();
             let mut speedup = 0.0;
             let mut p95_red = 0.0;
             let mut avg_red = 0.0;

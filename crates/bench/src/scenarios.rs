@@ -89,12 +89,15 @@ impl ScenarioLibrary {
     /// indoor/outdoor and 1/2/3 aggregated cells.
     pub fn paper_40_locations() -> Self {
         let mut locations = Vec::with_capacity(40);
-        let mut index = 0;
         // 25 busy + 15 idle; cells cycle 1,2,3; kind alternates; RSSI spreads
         // between -81 and -103 dBm.
         for i in 0..40usize {
             let busy = i < 25;
-            let kind = if i % 2 == 0 { LocationKind::Indoor } else { LocationKind::Outdoor };
+            let kind = if i % 2 == 0 {
+                LocationKind::Indoor
+            } else {
+                LocationKind::Outdoor
+            };
             let aggregated_cells = 1 + (i % 3);
             let base = match kind {
                 LocationKind::Indoor => -95.0,
@@ -102,13 +105,12 @@ impl ScenarioLibrary {
             };
             let rssi = base + (i % 5) as f64 * 2.0;
             locations.push(Location {
-                index,
+                index: i,
                 kind,
                 aggregated_cells,
                 busy,
                 rssi_dbm: rssi,
             });
-            index += 1;
         }
         ScenarioLibrary { locations }
     }
@@ -118,7 +120,12 @@ impl ScenarioLibrary {
     pub fn subset(count: usize) -> Vec<Location> {
         let lib = ScenarioLibrary::paper_40_locations();
         let step = (lib.locations.len() / count.max(1)).max(1);
-        lib.locations.iter().step_by(step).take(count).cloned().collect()
+        lib.locations
+            .iter()
+            .step_by(step)
+            .take(count)
+            .cloned()
+            .collect()
     }
 
     /// All 40 locations.
@@ -179,7 +186,10 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 40);
-        assert_eq!(lib.locations()[3].seed(), ScenarioLibrary::paper_40_locations().locations()[3].seed());
+        assert_eq!(
+            lib.locations()[3].seed(),
+            ScenarioLibrary::paper_40_locations().locations()[3].seed()
+        );
     }
 
     #[test]

@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn scheme_names_are_unique_and_printable() {
-        let mut names: Vec<&str> = SchemeName::PAPER_SCHEMES.iter().map(|s| s.as_str()).collect();
+        let mut names: Vec<&str> = SchemeName::PAPER_SCHEMES
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), SchemeName::PAPER_SCHEMES.len());

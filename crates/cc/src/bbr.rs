@@ -141,8 +141,10 @@ impl CongestionControl for Bbr {
         }
         if ack.delivery_rate_bps > 0.0 {
             // The BtlBw window is ~10 RTTs long.
-            self.btl_bw
-                .set_window(Duration::from_secs_f64(self.rtprop().as_secs_f64() * 10.0).max(Duration::from_millis(100)));
+            self.btl_bw.set_window(
+                Duration::from_secs_f64(self.rtprop().as_secs_f64() * 10.0)
+                    .max(Duration::from_millis(100)),
+            );
             self.btl_bw.update(now, ack.delivery_rate_bps);
         }
 
@@ -264,7 +266,10 @@ mod tests {
             bbr.on_ack(&ack(i * 40, 40, 48e6, 200_000));
             seen_gains.insert((bbr.pacing_gain * 100.0) as i64);
         }
-        assert!(seen_gains.contains(&125), "probing gain seen: {seen_gains:?}");
+        assert!(
+            seen_gains.contains(&125),
+            "probing gain seen: {seen_gains:?}"
+        );
         assert!(seen_gains.contains(&75), "draining gain seen");
         assert!(seen_gains.contains(&100), "cruise gain seen");
     }
@@ -288,7 +293,10 @@ mod tests {
         }
         let bdp = 48e6 / 8.0 * 0.040;
         let cwnd = bbr.cwnd_bytes() as f64;
-        assert!((cwnd - 2.0 * bdp).abs() / (2.0 * bdp) < 0.1, "cwnd {cwnd} bdp {bdp}");
+        assert!(
+            (cwnd - 2.0 * bdp).abs() / (2.0 * bdp) < 0.1,
+            "cwnd {cwnd} bdp {bdp}"
+        );
     }
 
     #[test]
@@ -304,8 +312,14 @@ mod tests {
             }
         }
         let entered = entered_probe_rtt_at.expect("ProbeRTT entered");
-        assert!(entered >= 10_000, "not before the 10 s interval, got {entered} ms");
-        assert!(entered <= 11_000, "soon after the 10 s interval, got {entered} ms");
+        assert!(
+            entered >= 10_000,
+            "not before the 10 s interval, got {entered} ms"
+        );
+        assert!(
+            entered <= 11_000,
+            "soon after the 10 s interval, got {entered} ms"
+        );
         assert_eq!(cwnd_during_probe_rtt, Some(4 * MSS_BYTES));
         // By the end of the run (16 s) BBR is back in ProbeBW cruising.
         assert_eq!(bbr.state(), BbrState::ProbeBw);

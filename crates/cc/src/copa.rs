@@ -71,12 +71,19 @@ impl CongestionControl for Copa {
         let rtt = ack.rtt.as_secs_f64();
         self.srtt = Duration::from_secs_f64(self.srtt.as_secs_f64() * 0.875 + rtt * 0.125);
         self.rtt_min.update(now, rtt);
-        // The "standing" RTT window is srtt/2 in Copa; a short fixed window
-        // is a close approximation at the RTTs the experiments use.
+        // The "standing" RTT is the minimum over the last srtt/2, per the
+        // Copa paper — a longer window would catch too many lucky
+        // empty-queue samples and underestimate the queueing delay.
+        self.rtt_standing
+            .set_window(Duration::from_secs_f64(self.srtt.as_secs_f64() / 2.0));
         self.rtt_standing.update(now, rtt);
 
         let d_q = self.queueing_delay();
-        let target_rate_pps = if d_q > 1e-6 { 1.0 / (DELTA * d_q) } else { f64::INFINITY };
+        let target_rate_pps = if d_q > 1e-6 {
+            1.0 / (DELTA * d_q)
+        } else {
+            f64::INFINITY
+        };
         let current_rate_pps = self.cwnd / self.srtt.as_secs_f64().max(1e-3);
 
         let go_up = current_rate_pps <= target_rate_pps;
@@ -176,7 +183,11 @@ mod tests {
         for i in 0..30u64 {
             copa.on_ack(&ack(i * 10, 40.0));
         }
-        assert!(copa.velocity > 1.0, "velocity accelerates: {}", copa.velocity);
+        assert!(
+            copa.velocity > 1.0,
+            "velocity accelerates: {}",
+            copa.velocity
+        );
     }
 
     #[test]

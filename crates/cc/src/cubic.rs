@@ -181,7 +181,11 @@ mod tests {
         let before = cubic.cwnd_segments();
         cubic.on_loss(Instant::from_millis(100));
         let after = cubic.cwnd_segments();
-        assert!((after - before * BETA).abs() < 1e-6, "{after} vs {}", before * BETA);
+        assert!(
+            (after - before * BETA).abs() < 1e-6,
+            "{after} vs {}",
+            before * BETA
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod bbr;
 pub mod copa;
 pub mod cubic;
 pub mod pcc;
+pub mod registry;
 pub mod reno;
 pub mod sprout;
 pub mod verus;
@@ -32,6 +33,7 @@ pub use bbr::Bbr;
 pub use copa::Copa;
 pub use cubic::Cubic;
 pub use pcc::Pcc;
+pub use registry::{SchemeCtx, SchemeFactory, SchemeId, SchemeRegistry};
 pub use reno::Reno;
 pub use sprout::Sprout;
 pub use verus::Verus;
@@ -39,21 +41,15 @@ pub use vivace::Vivace;
 
 use pbe_stats::time::Duration;
 
-/// Construct a baseline algorithm by name (used by the experiment harness to
-/// sweep all schemes).  PBE-CC itself lives in `pbe-core` because it needs
-/// receiver-side feedback the baselines do not use.
+/// Construct a baseline algorithm by name — a thin shim over the
+/// [`registry::SchemeRegistry`] kept for callers that sweep the closed
+/// [`SchemeName`] list.  PBE-CC itself registers through the same registry
+/// from `pbe-core` because it needs receiver-side feedback the baselines do
+/// not use.
 pub fn baseline_by_name(name: SchemeName, rtprop_hint: Duration) -> Box<dyn CongestionControl> {
-    match name {
-        SchemeName::Bbr => Box::new(Bbr::new(rtprop_hint)),
-        SchemeName::Cubic => Box::new(Cubic::new(rtprop_hint)),
-        SchemeName::Reno => Box::new(Reno::new(rtprop_hint)),
-        SchemeName::Copa => Box::new(Copa::new(rtprop_hint)),
-        SchemeName::Verus => Box::new(Verus::new(rtprop_hint)),
-        SchemeName::Sprout => Box::new(Sprout::new(rtprop_hint)),
-        SchemeName::Pcc => Box::new(Pcc::new(rtprop_hint)),
-        SchemeName::Vivace => Box::new(Vivace::new(rtprop_hint)),
-        SchemeName::PbeCc => panic!("PBE-CC is constructed from pbe-core, not from the baseline factory"),
-    }
+    SchemeRegistry::with_baselines()
+        .build(&SchemeId::from(name), &SchemeCtx::new(rtprop_hint))
+        .unwrap_or_else(|| panic!("{name} is not a baseline; PBE-CC is registered from pbe-core"))
 }
 
 #[cfg(test)]

@@ -84,7 +84,8 @@ impl Pcc {
             return;
         }
         let achieved = self.interval_bytes as f64 * 8.0 / elapsed;
-        let loss_rate = self.interval_losses as f64 / (self.interval_acks + self.interval_losses) as f64;
+        let loss_rate =
+            self.interval_losses as f64 / (self.interval_acks + self.interval_losses) as f64;
         let utility = Self::utility(achieved, loss_rate);
         match self.phase {
             Phase::Starting => {
@@ -104,7 +105,11 @@ impl Pcc {
                 };
                 if let Some(prev) = self.pending.take() {
                     // Two experiments done: move towards the better one.
-                    let winner = if prev.utility >= result.utility { prev } else { result };
+                    let winner = if prev.utility >= result.utility {
+                        prev
+                    } else {
+                        result
+                    };
                     let step = self.rate_bps * EPSILON;
                     if winner.rate > self.rate_bps {
                         self.rate_bps += step;
@@ -172,7 +177,8 @@ impl CongestionControl for Pcc {
 
     fn cwnd_bytes(&self) -> u64 {
         // Rate-based: allow up to two BDP-equivalents in flight.
-        (self.current_test_rate() / 8.0 * self.srtt.as_secs_f64() * 2.0).max(2.0 * MSS_BYTES as f64) as u64
+        (self.current_test_rate() / 8.0 * self.srtt.as_secs_f64() * 2.0).max(2.0 * MSS_BYTES as f64)
+            as u64
     }
 }
 
@@ -202,7 +208,11 @@ mod tests {
         for i in 1..=400u64 {
             pcc.on_ack(&ack(i * 5, 6_000 * i / 40, false));
         }
-        assert!(pcc.base_rate_bps() > r0, "rate grew from {r0} to {}", pcc.base_rate_bps());
+        assert!(
+            pcc.base_rate_bps() > r0,
+            "rate grew from {r0} to {}",
+            pcc.base_rate_bps()
+        );
     }
 
     #[test]

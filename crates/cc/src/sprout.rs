@@ -123,7 +123,11 @@ mod tests {
             let rate = if i % 2 == 0 { 5e6 } else { 50e6 };
             sprout.on_ack(&ack(i * 10, rate, 20_000));
         }
-        assert!(sprout.forecast_bps() <= 6e6, "forecast = {}", sprout.forecast_bps());
+        assert!(
+            sprout.forecast_bps() <= 6e6,
+            "forecast = {}",
+            sprout.forecast_bps()
+        );
         assert!(sprout.pacing_rate_bps() <= 6e6);
     }
 

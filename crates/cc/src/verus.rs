@@ -62,7 +62,11 @@ impl Verus {
     fn update_profile(&mut self, cwnd: f64, delay_ms: f64) {
         let b = Self::bucket(cwnd);
         let cur = self.profile[b];
-        self.profile[b] = if cur == 0.0 { delay_ms } else { cur * 0.8 + delay_ms * 0.2 };
+        self.profile[b] = if cur == 0.0 {
+            delay_ms
+        } else {
+            cur * 0.8 + delay_ms * 0.2
+        };
     }
 
     /// Find the largest window whose profiled delay is below `target_ms`.
@@ -117,9 +121,8 @@ impl CongestionControl for Verus {
         self.srtt = Duration::from_secs_f64(self.srtt.as_secs_f64() * 0.875 + rtt * 0.125);
         self.min_delay_ms = self.min_delay_ms.min(ack.one_way_delay_ms.max(0.1));
         self.epoch_delays.push(ack.one_way_delay_ms);
-        let epoch_len = Duration::from_secs_f64(
-            (self.srtt.as_secs_f64() * EPOCH_RTT_FRACTION).max(0.005),
-        );
+        let epoch_len =
+            Duration::from_secs_f64((self.srtt.as_secs_f64() * EPOCH_RTT_FRACTION).max(0.005));
         if ack.now.saturating_since(self.epoch_start) >= epoch_len {
             self.end_epoch(ack.now);
             self.epoch_start = ack.now;
@@ -201,7 +204,11 @@ mod tests {
         for i in 100..400u64 {
             verus.on_ack(&ack(i * 5, 90.0));
         }
-        assert!(verus.cwnd_segments() >= 10.0, "cwnd = {}", verus.cwnd_segments());
+        assert!(
+            verus.cwnd_segments() >= 10.0,
+            "cwnd = {}",
+            verus.cwnd_segments()
+        );
     }
 
     #[test]

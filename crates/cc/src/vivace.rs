@@ -60,7 +60,9 @@ impl Vivace {
 
     fn utility(rate_bps: f64, latency_gradient: f64, loss_rate: f64) -> f64 {
         let x = rate_bps / 1e6;
-        x.powf(THROUGHPUT_EXPONENT) - LATENCY_COEFF * x * latency_gradient.max(0.0) - LOSS_COEFF * x * loss_rate
+        x.powf(THROUGHPUT_EXPONENT)
+            - LATENCY_COEFF * x * latency_gradient.max(0.0)
+            - LOSS_COEFF * x * loss_rate
     }
 
     fn finish_interval(&mut self, now: Instant) {
@@ -70,7 +72,8 @@ impl Vivace {
             return;
         }
         let achieved = self.interval_bytes as f64 * 8.0 / elapsed;
-        let loss_rate = self.interval_losses as f64 / (self.interval_acks + self.interval_losses) as f64;
+        let loss_rate =
+            self.interval_losses as f64 / (self.interval_acks + self.interval_losses) as f64;
         let latency_gradient = match self.delay_first_ms {
             Some(first) => (self.delay_last_ms - first) / 1e3 / elapsed, // s/s
             None => 0.0,

@@ -32,7 +32,8 @@ impl WindowedMax {
     /// Insert a sample and return the current windowed maximum.
     pub fn update(&mut self, now: Instant, value: f64) -> f64 {
         // Drop samples that have aged out or are dominated by the new value.
-        self.samples.retain(|(t, v)| now.saturating_since(*t) <= self.window && *v > value);
+        self.samples
+            .retain(|(t, v)| now.saturating_since(*t) <= self.window && *v > value);
         self.samples.push((now, value));
         self.get()
     }
@@ -44,7 +45,8 @@ impl WindowedMax {
 
     /// Expire old samples without adding a new one.
     pub fn expire(&mut self, now: Instant) {
-        self.samples.retain(|(t, _)| now.saturating_since(*t) <= self.window);
+        self.samples
+            .retain(|(t, _)| now.saturating_since(*t) <= self.window);
     }
 }
 
@@ -64,21 +66,31 @@ impl WindowedMin {
         }
     }
 
+    /// Change the window length.
+    pub fn set_window(&mut self, window: Duration) {
+        self.window = window;
+    }
+
     /// Insert a sample and return the current windowed minimum.
     pub fn update(&mut self, now: Instant, value: f64) -> f64 {
-        self.samples.retain(|(t, v)| now.saturating_since(*t) <= self.window && *v < value);
+        self.samples
+            .retain(|(t, v)| now.saturating_since(*t) <= self.window && *v < value);
         self.samples.push((now, value));
         self.get()
     }
 
     /// Current windowed minimum (`f64::INFINITY` if empty).
     pub fn get(&self) -> f64 {
-        self.samples.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min)
+        self.samples
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Expire old samples without adding a new one.
     pub fn expire(&mut self, now: Instant) {
-        self.samples.retain(|(t, _)| now.saturating_since(*t) <= self.window);
+        self.samples
+            .retain(|(t, _)| now.saturating_since(*t) <= self.window);
     }
 }
 

@@ -86,7 +86,10 @@ impl CarrierAggregationManager {
 
     /// True if the UE ever had more than one active cell.
     pub fn ever_aggregated(&self, ue: UeId) -> bool {
-        self.states.get(&ue).map(|s| s.ever_aggregated).unwrap_or(false)
+        self.states
+            .get(&ue)
+            .map(|s| s.ever_aggregated)
+            .unwrap_or(false)
     }
 
     /// Update the CA state machine of one UE with this subframe's
@@ -112,8 +115,11 @@ impl CarrierAggregationManager {
         };
 
         // Activation: the user is consuming a large fraction of its serving
-        // cells' bandwidth (and still has demand).
-        let wants_more = utilisation >= config.ca_activation_utilisation && obs.queued_bits > 0;
+        // cells' bandwidth.  Per the paper (§3), queue build-up is *not* a
+        // prerequisite — a rate-based sender pacing at link capacity keeps
+        // the queue empty yet still warrants a secondary carrier, so the
+        // utilisation of the serving cells is the only trigger.
+        let wants_more = utilisation >= config.ca_activation_utilisation;
         if wants_more && state.active < max_cells {
             state.high_streak += 1;
             if state.high_streak >= config.ca_activation_subframes {
@@ -180,7 +186,12 @@ mod tests {
     }
 
     fn ue_config(max_cells: usize) -> UeConfig {
-        UeConfig::new(UeId(1), vec![CellId(0), CellId(1), CellId(2)], max_cells, -85.0)
+        UeConfig::new(
+            UeId(1),
+            vec![CellId(0), CellId(1), CellId(2)],
+            max_cells,
+            -85.0,
+        )
     }
 
     fn high_obs() -> CaObservation {
@@ -228,7 +239,9 @@ mod tests {
         let mut ca = CarrierAggregationManager::new();
         ca.register(UeId(1));
         for sf in 0..1000u64 {
-            assert!(ca.observe(&cfg, &uc, high_obs(), Instant::from_millis(sf)).is_none());
+            assert!(ca
+                .observe(&cfg, &uc, high_obs(), Instant::from_millis(sf))
+                .is_none());
         }
         assert_eq!(ca.active_cells(UeId(1)), 1);
         assert!(!ca.ever_aggregated(UeId(1)));
@@ -242,8 +255,14 @@ mod tests {
         ca.register(UeId(1));
         for sf in 0..500u64 {
             // Alternate high and low so the streak never reaches 50.
-            let obs = if sf % 10 < 5 { high_obs() } else { low_obs(100) };
-            assert!(ca.observe(&cfg, &uc, obs, Instant::from_millis(sf)).is_none());
+            let obs = if sf % 10 < 5 {
+                high_obs()
+            } else {
+                low_obs(100)
+            };
+            assert!(ca
+                .observe(&cfg, &uc, obs, Instant::from_millis(sf))
+                .is_none());
         }
         assert_eq!(ca.active_cells(UeId(1)), 1);
     }

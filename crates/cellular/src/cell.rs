@@ -68,6 +68,10 @@ pub struct Cell {
     harq: HashMap<UeId, HarqEntity>,
     next_sequence: HashMap<UeId, u64>,
     tb_counter: u64,
+    /// RLC/PDCP/MAC header overhead fraction γ: a transport block of
+    /// `tbs_bits` physical bits carries `tbs_bits · (1 − γ)` payload bits
+    /// (paper Eqn. 5, measured as 6.8 %).
+    protocol_overhead: f64,
     rng: DetRng,
     /// Cumulative PRBs allocated to anyone (for utilisation stats).
     pub total_allocated_prbs: u64,
@@ -88,10 +92,17 @@ impl Cell {
             harq: HashMap::new(),
             next_sequence: HashMap::new(),
             tb_counter: 0,
+            protocol_overhead: 0.0,
             rng,
             total_allocated_prbs: 0,
             subframes_ticked: 0,
         }
+    }
+
+    /// Set the protocol-overhead fraction γ applied to every transport block.
+    pub fn set_protocol_overhead(&mut self, gamma: f64) {
+        assert!((0.0..1.0).contains(&gamma));
+        self.protocol_overhead = gamma;
     }
 
     /// The cell's static configuration.
@@ -160,7 +171,9 @@ impl Cell {
         let mut segments = Vec::new();
         let mut used_bytes = 0u32;
         while capacity_bytes > 0 {
-            let Some(front) = queue.front_mut() else { break };
+            let Some(front) = queue.front_mut() else {
+                break;
+            };
             let take = front.remaining_bytes.min(capacity_bytes);
             if take == 0 {
                 break;
@@ -185,7 +198,11 @@ impl Cell {
     ///
     /// `channels` supplies the current channel state of every attached
     /// foreground UE (missing UEs are simply not scheduled this subframe).
-    pub fn tick(&mut self, subframe: u64, channels: &HashMap<UeId, ChannelState>) -> SubframeReport {
+    pub fn tick(
+        &mut self,
+        subframe: u64,
+        channels: &HashMap<UeId, ChannelState>,
+    ) -> SubframeReport {
         self.subframes_ticked += 1;
         let total_prbs = self.config.total_prbs();
         let mut dci_messages = Vec::new();
@@ -194,15 +211,21 @@ impl Cell {
         let mut cursor: u16 = 0;
 
         // --- Phase 1: HARQ retransmissions take priority. ------------------
-        let ue_ids: Vec<UeId> = self.rnti_of.keys().copied().collect();
+        // Sorted for cross-process determinism (see CellularNetwork::tick).
+        let mut ue_ids: Vec<UeId> = self.rnti_of.keys().copied().collect();
+        ue_ids.sort_unstable();
         for ue in &ue_ids {
-            let Some(state) = channels.get(ue) else { continue };
+            let Some(state) = channels.get(ue) else {
+                continue;
+            };
             let harq = self.harq.entry(*ue).or_default();
             if !harq.has_due_retransmission(subframe) {
                 continue;
             }
             let ber = state.bit_error_rate;
-            let mut rng = self.rng.split_indexed("retx", subframe ^ u64::from(ue.0) << 32);
+            let mut rng = self
+                .rng
+                .split_indexed("retx", subframe ^ u64::from(ue.0) << 32);
             let retx_outcomes = harq.retransmit_due(subframe, |block| {
                 rng.bernoulli(tb_error_probability(u64::from(block.tbs_bits), ber))
             });
@@ -222,7 +245,11 @@ impl Cell {
                     cell: self.config.id,
                     subframe,
                     rnti,
-                    format: if state.spatial_streams > 1 { DciFormat::Format2 } else { DciFormat::Format1 },
+                    format: if state.spatial_streams > 1 {
+                        DciFormat::Format2
+                    } else {
+                        DciFormat::Format1
+                    },
                     first_prb: allocations.last().map(|a| a.first_prb).unwrap_or(0),
                     num_prbs: prbs,
                     mcs: state.cqi.to_mcs(),
@@ -241,12 +268,15 @@ impl Cell {
         let background_grants: Vec<BackgroundGrant> = self.background.tick(subframe);
         let mut demands: Vec<Demand> = BackgroundTraffic::to_demands(&background_grants);
         for ue in &ue_ids {
-            let Some(state) = channels.get(ue) else { continue };
+            let Some(state) = channels.get(ue) else {
+                continue;
+            };
             let queue_bits = self.queue_bits(*ue);
             if queue_bits == 0 {
                 continue;
             }
-            let prbs = prbs_needed(queue_bits, state.cqi, state.spatial_streams).min(remaining_prbs);
+            let prbs =
+                prbs_needed(queue_bits, state.cqi, state.spatial_streams).min(remaining_prbs);
             if prbs == 0 {
                 continue;
             }
@@ -269,7 +299,11 @@ impl Cell {
                     cell: self.config.id,
                     subframe,
                     rnti: alloc.rnti,
-                    format: if grant.is_control { DciFormat::Format1A } else { DciFormat::Format1 },
+                    format: if grant.is_control {
+                        DciFormat::Format1A
+                    } else {
+                        DciFormat::Format1
+                    },
                     first_prb: alloc.first_prb + cursor,
                     num_prbs: alloc.num_prbs,
                     mcs: grant.cqi.to_mcs(),
@@ -283,17 +317,26 @@ impl Cell {
 
         // Foreground transport blocks.
         for ue in &ue_ids {
-            let Some(state) = channels.get(ue) else { continue };
+            let Some(state) = channels.get(ue) else {
+                continue;
+            };
             let granted = result.granted_to(*ue);
             if granted == 0 {
                 continue;
             }
             let rnti = self.rnti_of[ue];
             let tbs_bits = transport_block_size(granted, state.cqi, state.spatial_streams);
-            let (segments, used_bits) = self.pull_segments(*ue, tbs_bits);
+            // γ of the physical transport block is RLC/PDCP/MAC headers; only
+            // the remainder carries transport payload (paper Eqn. 5).
+            let payload_capacity = (f64::from(tbs_bits) * (1.0 - self.protocol_overhead)) as u32;
+            let (segments, used_bits) = self.pull_segments(*ue, payload_capacity);
             if segments.is_empty() {
                 continue;
             }
+            // The physical bits occupied on the air, including headers: this
+            // is what the DCI advertises and what the error model sees.
+            let physical_bits =
+                (f64::from(used_bits) / (1.0 - self.protocol_overhead)).ceil() as u32;
             self.tb_counter += 1;
             let sequence = {
                 let seq = self.next_sequence.entry(*ue).or_insert(0);
@@ -304,7 +347,7 @@ impl Cell {
             let block = TransportBlock {
                 id: self.tb_counter,
                 sequence,
-                tbs_bits: used_bits.max(16),
+                tbs_bits: physical_bits.max(16),
                 num_prbs: granted,
                 segments,
                 first_tx_subframe: subframe,
@@ -324,7 +367,11 @@ impl Cell {
                 cell: self.config.id,
                 subframe,
                 rnti,
-                format: if state.spatial_streams > 1 { DciFormat::Format2 } else { DciFormat::Format1 },
+                format: if state.spatial_streams > 1 {
+                    DciFormat::Format2
+                } else {
+                    DciFormat::Format1
+                },
                 first_prb,
                 num_prbs: granted,
                 mcs: state.cqi.to_mcs(),
@@ -350,7 +397,10 @@ impl Cell {
             allocations,
         };
         self.total_allocated_prbs += u64::from(prb_usage.allocated());
-        let queue_bits = ue_ids.iter().map(|ue| (*ue, self.queue_bits(*ue))).collect();
+        let queue_bits = ue_ids
+            .iter()
+            .map(|ue| (*ue, self.queue_bits(*ue)))
+            .collect();
         SubframeReport {
             cell: self.config.id,
             subframe,
@@ -450,7 +500,11 @@ mod tests {
             let report = cell.tick(sf, &channels_for(ue, ch));
             for (_, o) in &report.outcomes {
                 subframes_with_data += 1;
-                if o.block.segments.iter().any(|s| s.is_last && s.packet_id == 7) {
+                if o.block
+                    .segments
+                    .iter()
+                    .any(|s| s.is_last && s.packet_id == 7)
+                {
                     last_seen = true;
                 }
             }
@@ -470,8 +524,22 @@ mod tests {
         cell.attach(a, Rnti(0x100));
         cell.attach(b, Rnti(0x101));
         for i in 0..2000 {
-            cell.enqueue(a, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
-            cell.enqueue(b, QueuedPacket { id: 10_000 + i, bytes: 1500, enqueued_at: Instant::ZERO });
+            cell.enqueue(
+                a,
+                QueuedPacket {
+                    id: i,
+                    bytes: 1500,
+                    enqueued_at: Instant::ZERO,
+                },
+            );
+            cell.enqueue(
+                b,
+                QueuedPacket {
+                    id: 10_000 + i,
+                    bytes: 1500,
+                    enqueued_at: Instant::ZERO,
+                },
+            );
         }
         let mut channels = HashMap::new();
         channels.insert(a, good_channel());
@@ -494,7 +562,14 @@ mod tests {
         let ue = UeId(1);
         cell.attach(ue, Rnti(0x100));
         for i in 0..50 {
-            cell.enqueue(ue, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+            cell.enqueue(
+                ue,
+                QueuedPacket {
+                    id: i,
+                    bytes: 1500,
+                    enqueued_at: Instant::ZERO,
+                },
+            );
         }
         let mut bad = good_channel();
         bad.bit_error_rate = 5e-4; // enormous: every block fails.
@@ -522,12 +597,23 @@ mod tests {
         }
         assert_eq!(cell.utilisation(), 0.0);
         for i in 0..100_000 {
-            cell.enqueue(ue, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+            cell.enqueue(
+                ue,
+                QueuedPacket {
+                    id: i,
+                    bytes: 1500,
+                    enqueued_at: Instant::ZERO,
+                },
+            );
         }
         for sf in 100..200u64 {
             cell.tick(sf, &channels_for(ue, good_channel()));
         }
-        assert!(cell.utilisation() > 0.4, "utilisation = {}", cell.utilisation());
+        assert!(
+            cell.utilisation() > 0.4,
+            "utilisation = {}",
+            cell.utilisation()
+        );
     }
 
     #[test]
@@ -540,7 +626,14 @@ mod tests {
         let ue = UeId(1);
         cell.attach(ue, Rnti(0x100));
         for i in 0..50_000 {
-            cell.enqueue(ue, QueuedPacket { id: i, bytes: 1500, enqueued_at: Instant::ZERO });
+            cell.enqueue(
+                ue,
+                QueuedPacket {
+                    id: i,
+                    bytes: 1500,
+                    enqueued_at: Instant::ZERO,
+                },
+            );
         }
         for sf in 0..500u64 {
             let report = cell.tick(sf, &channels_for(ue, good_channel()));

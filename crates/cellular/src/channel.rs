@@ -72,7 +72,8 @@ impl MobilityTrace {
                 if t1 == t0 {
                     return r1;
                 }
-                let frac = (t.as_micros() - t0.as_micros()) as f64 / (t1.as_micros() - t0.as_micros()) as f64;
+                let frac = (t.as_micros() - t0.as_micros()) as f64
+                    / (t1.as_micros() - t0.as_micros()) as f64;
                 return r0 + (r1 - r0) * frac;
             }
         }
@@ -133,7 +134,11 @@ impl ChannelModel {
 
     /// A stationary channel at a fixed RSSI.
     pub fn stationary(rssi_dbm: f64, max_spatial_streams: u8, rng: DetRng) -> Self {
-        ChannelModel::new(MobilityTrace::stationary(rssi_dbm), max_spatial_streams, rng)
+        ChannelModel::new(
+            MobilityTrace::stationary(rssi_dbm),
+            max_spatial_streams,
+            rng,
+        )
     }
 
     /// Override the fading coherence time (small values model vehicular
@@ -164,7 +169,11 @@ impl ChannelModel {
                 // Rayleigh-like fades: mostly shallow, occasionally deep.
                 let u = self.rng.uniform();
                 let deep = self.rng.bernoulli(0.05);
-                let depth = if deep { self.fading_depth_db * 3.0 } else { self.fading_depth_db };
+                let depth = if deep {
+                    self.fading_depth_db * 3.0
+                } else {
+                    self.fading_depth_db
+                };
                 -depth * u
             } else {
                 0.0
@@ -181,7 +190,7 @@ impl ChannelModel {
         let sinr = rssi - NOISE_FLOOR_DBM;
         let cqi = Cqi::from_sinr_db(sinr);
         let spatial_streams = if sinr >= 13.0 {
-            self.max_spatial_streams.min(2).max(1)
+            self.max_spatial_streams.clamp(1, 2)
         } else {
             1
         };
@@ -279,7 +288,10 @@ mod tests {
         let a = ch.sample(Instant::from_millis(0));
         let b = ch.sample(Instant::from_millis(5));
         let c = ch.sample(Instant::from_millis(15));
-        assert_eq!(a.rssi_dbm, b.rssi_dbm, "within one coherence interval the fade is constant");
+        assert_eq!(
+            a.rssi_dbm, b.rssi_dbm,
+            "within one coherence interval the fade is constant"
+        );
         // After the coherence time the fade is re-drawn; values are almost
         // surely different.
         assert_ne!(a.rssi_dbm, c.rssi_dbm);

@@ -139,8 +139,16 @@ pub struct UeConfig {
 
 impl UeConfig {
     /// Convenience constructor.
-    pub fn new(id: UeId, configured_cells: Vec<CellId>, max_aggregated_cells: usize, rssi_dbm: f64) -> Self {
-        assert!(!configured_cells.is_empty(), "a UE needs at least a primary cell");
+    pub fn new(
+        id: UeId,
+        configured_cells: Vec<CellId>,
+        max_aggregated_cells: usize,
+        rssi_dbm: f64,
+    ) -> Self {
+        assert!(
+            !configured_cells.is_empty(),
+            "a UE needs at least a primary cell"
+        );
         assert!(max_aggregated_cells >= 1);
         UeConfig {
             id,

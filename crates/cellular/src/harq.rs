@@ -113,7 +113,12 @@ impl HarqEntity {
     /// `error` indicates whether the UE failed to decode the block (drawn by
     /// the caller from the channel's transport-block error probability).  On
     /// error the block is queued for retransmission 8 subframes later.
-    pub fn transmit_new(&mut self, block: TransportBlock, subframe: u64, error: bool) -> HarqOutcome {
+    pub fn transmit_new(
+        &mut self,
+        block: TransportBlock,
+        subframe: u64,
+        error: bool,
+    ) -> HarqOutcome {
         self.initial_transmissions += 1;
         if error {
             self.pending.push_back(PendingRetx {

@@ -21,29 +21,43 @@ pub struct McsIndex(pub u8);
 
 /// 3GPP 36.213 Table 7.2.3-1 (4-bit CQI): (modulation order bits, code rate × 1024).
 const CQI_TABLE: [(u8, u16); 16] = [
-    (0, 0),      // CQI 0: out of range
-    (2, 78),     // QPSK 0.076
-    (2, 120),    // QPSK 0.12
-    (2, 193),    // QPSK 0.19
-    (2, 308),    // QPSK 0.30
-    (2, 449),    // QPSK 0.44
-    (2, 602),    // QPSK 0.59
-    (4, 378),    // 16QAM 0.37
-    (4, 490),    // 16QAM 0.48
-    (4, 616),    // 16QAM 0.60
-    (6, 466),    // 64QAM 0.46
-    (6, 567),    // 64QAM 0.55
-    (6, 666),    // 64QAM 0.65
-    (6, 772),    // 64QAM 0.75
-    (6, 873),    // 64QAM 0.85
-    (6, 948),    // 64QAM 0.93
+    (0, 0),   // CQI 0: out of range
+    (2, 78),  // QPSK 0.076
+    (2, 120), // QPSK 0.12
+    (2, 193), // QPSK 0.19
+    (2, 308), // QPSK 0.30
+    (2, 449), // QPSK 0.44
+    (2, 602), // QPSK 0.59
+    (4, 378), // 16QAM 0.37
+    (4, 490), // 16QAM 0.48
+    (4, 616), // 16QAM 0.60
+    (6, 466), // 64QAM 0.46
+    (6, 567), // 64QAM 0.55
+    (6, 666), // 64QAM 0.65
+    (6, 772), // 64QAM 0.75
+    (6, 873), // 64QAM 0.85
+    (6, 948), // 64QAM 0.93
 ];
 
 /// SINR (dB) thresholds at which each CQI becomes usable at ~10 % BLER,
 /// index 1..=15.  Derived from standard link-level curves.
 const CQI_SINR_THRESHOLDS_DB: [f64; 16] = [
     f64::NEG_INFINITY,
-    -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1, 10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7,
+    -6.7,
+    -4.7,
+    -2.3,
+    0.2,
+    2.4,
+    4.3,
+    5.9,
+    8.1,
+    10.3,
+    11.7,
+    14.1,
+    16.3,
+    18.7,
+    21.0,
+    22.7,
 ];
 
 impl Cqi {
@@ -174,7 +188,10 @@ mod tests {
     fn mcs_cqi_roundtrip_is_close() {
         for c in 1..=15u8 {
             let back = Cqi(c).to_mcs().to_cqi();
-            assert!((i16::from(back.0) - i16::from(c)).abs() <= 1, "CQI {c} -> {back:?}");
+            assert!(
+                (i16::from(back.0) - i16::from(c)).abs() <= 1,
+                "CQI {c} -> {back:?}"
+            );
         }
         assert_eq!(Cqi(1).to_mcs(), McsIndex(0));
         assert_eq!(Cqi(15).to_mcs(), McsIndex(28));
@@ -204,7 +221,7 @@ mod tests {
         let cqi = Cqi(12);
         let bits = u64::from(transport_block_size(40, cqi, 2));
         let needed = prbs_needed(bits, cqi, 2);
-        assert!(needed <= 40 && needed >= 39, "needed = {needed}");
+        assert!((39..=40).contains(&needed), "needed = {needed}");
         assert_eq!(prbs_needed(0, cqi, 2), 0);
         assert_eq!(prbs_needed(1, cqi, 2), 1);
     }

@@ -78,11 +78,13 @@ impl CellularNetwork {
             .cells
             .iter()
             .map(|c| {
-                Cell::new(
+                let mut cell = Cell::new(
                     c.clone(),
                     BackgroundTraffic::new(load, rng.split_indexed("bg", u64::from(c.id.0))),
                     rng.split_indexed("cell", u64::from(c.id.0)),
-                )
+                );
+                cell.set_protocol_overhead(config.protocol_overhead);
+                cell
             })
             .collect();
         CellularNetwork {
@@ -233,15 +235,21 @@ impl CellularNetwork {
         };
 
         // Sample channels: per cell, the set of UEs that are attached and
-        // currently have that cell active.
-        let ue_ids: Vec<UeId> = self.ues.keys().copied().collect();
+        // currently have that cell active.  Sorted so scheduling, delivery
+        // and RNG-draw order are independent of hash-map iteration order —
+        // a run must be reproducible across processes, not just within one.
+        let mut ue_ids: Vec<UeId> = self.ues.keys().copied().collect();
+        ue_ids.sort_unstable();
         let mut channels_per_cell: HashMap<CellId, HashMap<UeId, ChannelState>> = HashMap::new();
         for ue_id in &ue_ids {
             let active = self.active_cells(*ue_id);
             let ue = self.ues.get_mut(ue_id).expect("ue exists");
             for cell_id in active {
                 if let Some(state) = ue.sample_channel(cell_id, now) {
-                    channels_per_cell.entry(cell_id).or_default().insert(*ue_id, state);
+                    channels_per_cell
+                        .entry(cell_id)
+                        .or_default()
+                        .insert(*ue_id, state);
                 }
             }
         }
@@ -416,12 +424,10 @@ mod tests {
     fn modest_load_never_triggers_carrier_aggregation() {
         let mut net = network(CellLoadProfile::none());
         let ue = add_default_ue(&mut net, 3);
-        let mut packet_id = 0u64;
-        for sf in 0..2000u64 {
+        for (packet_id, sf) in (0..2000u64).enumerate() {
             let now = Instant::from_millis(sf);
             // ~12 Mbit/s, far below the primary cell's capacity.
-            net.enqueue_packet(ue, packet_id, 1500, now);
-            packet_id += 1;
+            net.enqueue_packet(ue, packet_id as u64, 1500, now);
             let report = net.tick(now);
             assert!(report.ca_events.is_empty());
         }
@@ -481,6 +487,9 @@ mod tests {
                 }
             }
         }
-        assert!(allocated > 5_000, "background users occupied PRBs: {allocated}");
+        assert!(
+            allocated > 5_000,
+            "background users occupied PRBs: {allocated}"
+        );
     }
 }

@@ -92,14 +92,20 @@ impl EqualShareScheduler {
 
         // Pass 1: retransmissions get exactly what they ask for (clipped at
         // what is left, in arrival order).
-        for d in demands.iter().filter(|d| d.class == DemandClass::Retransmission && d.prbs > 0) {
+        for d in demands
+            .iter()
+            .filter(|d| d.class == DemandClass::Retransmission && d.prbs > 0)
+        {
             let g = d.prbs.min(remaining);
             remaining -= g;
             granted.push((*d, g));
         }
 
         // Pass 2: control traffic (small fixed grants).
-        for d in demands.iter().filter(|d| d.class == DemandClass::Control && d.prbs > 0) {
+        for d in demands
+            .iter()
+            .filter(|d| d.class == DemandClass::Control && d.prbs > 0)
+        {
             let g = d.prbs.min(remaining);
             remaining -= g;
             granted.push((*d, g));
@@ -250,10 +256,7 @@ mod tests {
     #[test]
     fn retransmissions_and_control_served_first() {
         let mut s = EqualShareScheduler::new();
-        let r = s.schedule(
-            100,
-            &[data(1, 500), retx(2, 40), ctrl(3, 4), data(4, 500)],
-        );
+        let r = s.schedule(100, &[data(1, 500), retx(2, 40), ctrl(3, 4), data(4, 500)]);
         assert_eq!(r.granted_to(UeId(2)), 40);
         assert_eq!(r.granted_to(UeId(3)), 4);
         assert_eq!(r.granted_to(UeId(1)), 28);
@@ -285,7 +288,10 @@ mod tests {
         }
         let min = *totals.iter().min().unwrap();
         let max = *totals.iter().max().unwrap();
-        assert!(max - min <= 10, "rotation keeps long-run shares close: {totals:?}");
+        assert!(
+            max - min <= 10,
+            "rotation keeps long-run shares close: {totals:?}"
+        );
     }
 
     #[test]

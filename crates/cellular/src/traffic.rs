@@ -18,9 +18,9 @@
 //!   physical data rate well below the 1.8 Mbit/s/PRB maximum (Fig. 11b).
 
 use crate::config::Rnti;
+use crate::config::UeId;
 use crate::mcs::Cqi;
 use crate::scheduler::{Demand, DemandClass};
-use crate::config::UeId;
 use pbe_stats::DetRng;
 use serde::{Deserialize, Serialize};
 
@@ -168,7 +168,11 @@ impl BackgroundTraffic {
     fn fresh_rnti(&mut self) -> Rnti {
         let r = Rnti(self.next_rnti);
         // Wrap within the C-RNTI range, skipping the low reserved values.
-        self.next_rnti = if self.next_rnti >= 0xFFF0 { 0x2000 } else { self.next_rnti + 1 };
+        self.next_rnti = if self.next_rnti >= 0xFFF0 {
+            0x2000
+        } else {
+            self.next_rnti + 1
+        };
         self.distinct_users += 1;
         r
     }
@@ -213,10 +217,16 @@ impl BackgroundTraffic {
             let rnti = self.fresh_rnti();
             let ue = self.fresh_ue();
             self.distinct_data_users += 1;
-            let duration = self.rng.exponential(self.profile.data_duration_subframes).max(2.0) as u64;
+            let duration = self
+                .rng
+                .exponential(self.profile.data_duration_subframes)
+                .max(2.0) as u64;
             let prbs = self
                 .rng
-                .normal(self.profile.data_prbs_mean, self.profile.data_prbs_mean * 0.4)
+                .normal(
+                    self.profile.data_prbs_mean,
+                    self.profile.data_prbs_mean * 0.4,
+                )
                 .clamp(5.0, 100.0) as u16;
             let cqi = self.sample_cqi();
             self.sessions.push(DataSession {
@@ -252,7 +262,11 @@ impl BackgroundTraffic {
                 ue: g.ue,
                 rnti: g.rnti,
                 prbs: g.prbs,
-                class: if g.is_control { DemandClass::Control } else { DemandClass::Data },
+                class: if g.is_control {
+                    DemandClass::Control
+                } else {
+                    DemandClass::Data
+                },
             })
             .collect()
     }
@@ -270,7 +284,10 @@ mod tests {
             total_grants += bg.tick(sf).len();
         }
         // ~0.02 control/subframe + a handful of data sessions.
-        assert!(total_grants < 1500, "idle cell produced {total_grants} grants");
+        assert!(
+            total_grants < 1500,
+            "idle cell produced {total_grants} grants"
+        );
     }
 
     #[test]
@@ -307,9 +324,15 @@ mod tests {
         let avg = per_window_users.iter().sum::<f64>() / windows as f64;
         let max = per_window_users.iter().cloned().fold(0.0, f64::max);
         let avg_data = per_window_data_users.iter().sum::<f64>() / windows as f64;
-        assert!((12.0..20.0).contains(&avg), "avg users per 40 ms window = {avg}");
+        assert!(
+            (12.0..20.0).contains(&avg),
+            "avg users per 40 ms window = {avg}"
+        );
         assert!(max <= 35.0, "max users = {max}");
-        assert!((0.8..2.5).contains(&avg_data), "avg data users = {avg_data}");
+        assert!(
+            (0.8..2.5).contains(&avg_data),
+            "avg data users = {avg_data}"
+        );
     }
 
     #[test]

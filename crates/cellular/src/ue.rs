@@ -194,8 +194,14 @@ mod tests {
     fn ue() -> UserEquipment {
         let cfg = UeConfig::new(UeId(1), vec![CellId(0), CellId(1)], 2, -85.0);
         let mut channels = HashMap::new();
-        channels.insert(CellId(0), ChannelModel::stationary(-85.0, 2, DetRng::new(1)));
-        channels.insert(CellId(1), ChannelModel::stationary(-90.0, 2, DetRng::new(2)));
+        channels.insert(
+            CellId(0),
+            ChannelModel::stationary(-85.0, 2, DetRng::new(1)),
+        );
+        channels.insert(
+            CellId(1),
+            ChannelModel::stationary(-90.0, 2, DetRng::new(2)),
+        );
         UserEquipment::new(cfg, Rnti(0x100), channels)
     }
 
@@ -227,7 +233,11 @@ mod tests {
     #[test]
     fn in_order_success_delivers_packets() {
         let mut ue = ue();
-        let events = ue.process_outcomes(CellId(0), &[ok(0, 1, 0), ok(1, 2, 1)], Instant::from_millis(1));
+        let events = ue.process_outcomes(
+            CellId(0),
+            &[ok(0, 1, 0), ok(1, 2, 1)],
+            Instant::from_millis(1),
+        );
         assert_eq!(events.len(), 2);
         assert!(events.iter().all(|e| e.delivered));
         assert_eq!(ue.packets_delivered, 2);
@@ -251,7 +261,9 @@ mod tests {
         // The retransmission succeeds 8 ms later; both packets released.
         let events = ue.process_outcomes(CellId(0), &[ok(0, 1, 8)], Instant::from_millis(9));
         assert_eq!(events.len(), 2);
-        assert!(events.iter().all(|e| e.delivered && e.at == Instant::from_millis(9)));
+        assert!(events
+            .iter()
+            .all(|e| e.delivered && e.at == Instant::from_millis(9)));
     }
 
     #[test]
@@ -284,7 +296,11 @@ mod tests {
         let mut ue = ue();
         let first_half = HarqOutcome {
             block: TransportBlock {
-                segments: vec![Segment { packet_id: 5, bytes: 700, is_last: false }],
+                segments: vec![Segment {
+                    packet_id: 5,
+                    bytes: 700,
+                    is_last: false,
+                }],
                 ..block(0, 5, false)
             },
             subframe: 0,
@@ -294,7 +310,11 @@ mod tests {
         };
         let second_half = HarqOutcome {
             block: TransportBlock {
-                segments: vec![Segment { packet_id: 5, bytes: 800, is_last: true }],
+                segments: vec![Segment {
+                    packet_id: 5,
+                    bytes: 800,
+                    is_last: true,
+                }],
                 ..block(1, 5, true)
             },
             subframe: 1,

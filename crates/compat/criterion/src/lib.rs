@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The sandbox has no crates.io access, so this crate provides the subset of
+//! criterion's API the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, the
+//! `criterion_group!` / `criterion_main!` macros and `black_box`).  Each
+//! bench closure is timed over a small fixed number of batches and the
+//! per-iteration median is printed — enough to compare hot paths locally,
+//! with no statistics machinery.  Passing `--test` (as `cargo test` does for
+//! `harness = false` bench targets) runs every closure once, keeping the
+//! test suite fast.
+
+use std::time::Instant;
+
+/// Re-export of the standard black box (criterion's is equivalent).
+pub use std::hint::black_box;
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Provides the per-iteration timing loop.
+pub struct Bencher {
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time a closure; in `--test` mode run it exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate the iteration count to roughly 50 ms of work.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.05 / once) as u64).clamp(1, 100_000);
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples[samples.len() / 2];
+        println!(
+            "    median {:>12}  ({iters} iters/sample)",
+            format_time(median)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stand-in uses a fixed sample plan.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        println!("{}/{}", self.name, id.as_ref());
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// End the group (no-op; printed output is already flushed).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: test_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        println!("{}", id.as_ref());
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions (criterion-compatible syntax).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point (criterion-compatible syntax).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

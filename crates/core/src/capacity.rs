@@ -135,7 +135,51 @@ mod tests {
     fn higher_physical_rate_scales_capacity() {
         let slow = CapacityEstimator::new().estimate(&[snapshot(0, 100, 10.0, 50.0, 1, 500.0)]);
         let fast = CapacityEstimator::new().estimate(&[snapshot(0, 100, 10.0, 50.0, 1, 1500.0)]);
-        assert!((fast.available_bits_per_subframe / slow.available_bits_per_subframe - 3.0).abs() < 1e-9);
+        assert!(
+            (fast.available_bits_per_subframe / slow.available_bits_per_subframe - 3.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn eqns_one_to_four_match_hand_computation_across_three_cells() {
+        // Hand-computed reference for the full Eqns. 1–4 pipeline on a
+        // three-carrier snapshot set with different physical rates and
+        // competitor counts per cell:
+        //
+        //   cell 0: Pcell=100, Pa=22.5, Pidle=31.5, N=3, Rw=1375.0
+        //   cell 1: Pcell= 50, Pa= 8.0, Pidle=12.0, N=2, Rw= 980.0
+        //   cell 2: Pcell= 25, Pa= 4.0, Pidle= 0.0, N=1, Rw= 660.0
+        //
+        // Eqn. 2 (fair): Σ Rw_i · Pcell_i / N_i
+        //   = 1375·100/3 + 980·50/2 + 660·25/1
+        //   = 45833.333… + 24500 + 16500 = 86833.333…
+        // Eqn. 4 (available): Σ Rw_i · (Pa_i + Pidle_i / N_i)
+        //   = 1375·(22.5 + 10.5) + 980·(8 + 6) + 660·(4 + 0)
+        //   = 45375 + 13720 + 2640 = 61735
+        let est = CapacityEstimator::new().estimate(&[
+            snapshot(0, 100, 22.5, 31.5, 3, 1375.0),
+            snapshot(1, 50, 8.0, 12.0, 2, 980.0),
+            snapshot(2, 25, 4.0, 0.0, 1, 660.0),
+        ]);
+        assert!((est.fair_share_bits_per_subframe - 86_833.333_333_333_34).abs() < 1e-6);
+        assert!((est.available_bits_per_subframe - 61_735.0).abs() < 1e-9);
+        assert_eq!(est.cells, 3);
+        assert_eq!(est.max_active_users, 3);
+        // bits/subframe → bits/s is a flat ×1000 (1 ms subframes).
+        assert!((est.fair_share_bps() - 86_833_333.333_333_34).abs() < 1e-3);
+        assert!((est.available_bps() - 61_735_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_active_users_is_clamped_to_one() {
+        // N is "competing users including self", so a snapshot reporting 0
+        // (possible before any grant is decoded) must behave like N = 1
+        // rather than divide by zero.
+        let est = CapacityEstimator::new().estimate(&[snapshot(0, 100, 0.0, 100.0, 0, 500.0)]);
+        assert!((est.available_bits_per_subframe - 50_000.0).abs() < 1e-9);
+        assert!((est.fair_share_bits_per_subframe - 50_000.0).abs() < 1e-9);
+        assert!(est.available_bits_per_subframe.is_finite());
     }
 
     #[test]

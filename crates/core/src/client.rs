@@ -14,6 +14,7 @@
 use crate::capacity::{CapacityEstimate, CapacityEstimator};
 use crate::translate::RateTranslator;
 use pbe_cc_algorithms::api::{PbeFeedback, MSS_BYTES};
+use pbe_cc_algorithms::windowed::WindowedMin;
 use pbe_cellular::config::{CellId, Rnti};
 use pbe_pdcch::fusion::FusedSubframe;
 use pbe_pdcch::monitor::{CellStatusMonitor, MonitorConfig};
@@ -75,6 +76,10 @@ pub struct PbeClient {
     state: BottleneckState,
     /// (time, delay_ms) samples used for the Dprop minimum window.
     delay_samples: Vec<(Instant, f64)>,
+    /// Minimum one-way delay over the last RTprop: the *standing* delay.  A
+    /// HARQ spike affects a few packets and leaves the minimum alone; a real
+    /// backlog raises every sample, minimum included.
+    standing_delay: WindowedMin,
     consecutive_over: u64,
     consecutive_under: u64,
     rtprop_ms: f64,
@@ -91,10 +96,8 @@ pub struct PbeClient {
 impl PbeClient {
     /// Create the client.
     pub fn new(config: PbeClientConfig) -> Self {
-        let monitor = CellStatusMonitor::new(MonitorConfig::new(
-            config.own_rnti,
-            config.cells.clone(),
-        ));
+        let monitor =
+            CellStatusMonitor::new(MonitorConfig::new(config.own_rnti, config.cells.clone()));
         let translator = RateTranslator::new(config.protocol_overhead);
         PbeClient {
             config,
@@ -103,6 +106,7 @@ impl PbeClient {
             translator,
             state: BottleneckState::Wireless,
             delay_samples: Vec::new(),
+            standing_delay: WindowedMin::new(Duration::from_millis(40)),
             consecutive_over: 0,
             consecutive_under: 0,
             rtprop_ms: 40.0,
@@ -121,6 +125,11 @@ impl PbeClient {
     /// Current bottleneck-state belief.
     pub fn state(&self) -> BottleneckState {
         self.state
+    }
+
+    /// The monitor's current state (e.g. for observers).
+    pub fn monitor(&self) -> &CellStatusMonitor {
+        &self.monitor
     }
 
     /// The monitor (e.g. to add a newly activated cell).
@@ -195,27 +204,34 @@ impl PbeClient {
             self.translator
                 .translate_with_tb_error(self.last_estimate.available_bits_per_subframe, retx)
         } else {
-            self.translator
-                .translate(self.last_estimate.available_bits_per_subframe, self.config.bit_error_rate)
+            self.translator.translate(
+                self.last_estimate.available_bits_per_subframe,
+                self.config.bit_error_rate,
+            )
         };
         self.last_cf_t = if retx > 0.0 {
             self.translator
                 .translate_with_tb_error(self.last_estimate.fair_share_bits_per_subframe, retx)
         } else {
-            self.translator
-                .translate(self.last_estimate.fair_share_bits_per_subframe, self.config.bit_error_rate)
+            self.translator.translate(
+                self.last_estimate.fair_share_bits_per_subframe,
+                self.config.bit_error_rate,
+            )
         };
     }
 
     /// The `Npkt` consecutive-packet threshold of Eqn. 6.
     pub fn npkt_threshold(&self) -> u64 {
         let ct_bits_per_subframe = self.last_ct.max(8.0 * MSS_BYTES as f64 / 1000.0);
-        ((6.0 * ct_bits_per_subframe) / (MSS_BYTES as f64 * 8.0)).ceil().max(2.0) as u64
+        ((6.0 * ct_bits_per_subframe) / (MSS_BYTES as f64 * 8.0))
+            .ceil()
+            .max(2.0) as u64
     }
 
     fn prune_delay_window(&mut self, now: Instant) {
         let window = self.config.dprop_window;
-        self.delay_samples.retain(|(t, _)| now.saturating_since(*t) <= window);
+        self.delay_samples
+            .retain(|(t, _)| now.saturating_since(*t) <= window);
     }
 
     /// Process one received data packet and produce the feedback to piggyback
@@ -253,8 +269,27 @@ impl PbeClient {
         // In the wireless-bottleneck state the feedback carries the available
         // capacity Ct; in the Internet-bottleneck state it carries the
         // fair-share cap Cf (§4.2.3).
+        //
+        // When a *standing* queue is observed (the minimum delay of the last
+        // RTprop sits above Dprop beyond the jitter margin), the wireless
+        // feedback is reduced so the sender under-runs the link and the
+        // backlog drains within roughly one RTprop — matching capacity
+        // exactly would sustain a standing queue forever on a link whose
+        // capacity is ramping down.  Isolated HARQ spikes leave the windowed
+        // minimum (and therefore the feedback) untouched.
+        self.standing_delay
+            .set_window(Duration::from_secs_f64(self.rtprop_ms / 1000.0));
+        self.standing_delay.update(now, one_way_delay_ms);
+        let dprop = self.dprop_ms();
+        let standing = self.standing_delay.get();
+        let queue_ms = if dprop.is_finite() && standing.is_finite() {
+            (standing - dprop - self.config.jitter_margin_ms).max(0.0)
+        } else {
+            0.0
+        };
+        let drain_factor = (1.0 - queue_ms / self.rtprop_ms).clamp(0.5, 1.0);
         let capacity_bps = match self.state {
-            BottleneckState::Wireless => self.last_ct * 1000.0,
+            BottleneckState::Wireless => self.last_ct * 1000.0 * drain_factor,
             BottleneckState::Internet => self.last_cf_t * 1000.0,
         };
         PbeFeedback {
@@ -322,10 +357,7 @@ mod tests {
     fn competitor_reduces_fair_share_but_not_current_allocation() {
         let mut c = client();
         for sf in 0..40u64 {
-            c.on_subframe(&fused(
-                sf,
-                vec![dci(OWN, 50, sf), dci(OTHER, 50, sf)],
-            ));
+            c.on_subframe(&fused(sf, vec![dci(OWN, 50, sf), dci(OTHER, 50, sf)]));
         }
         let est = c.capacity();
         // No idle PRBs: available = own 50 PRBs; fair share = half the cell.
@@ -380,7 +412,10 @@ mod tests {
             }
         }
         let switched_after = switched_after.expect("switched to Internet bottleneck");
-        assert!(switched_after >= npkt, "not before Npkt consecutive packets");
+        assert!(
+            switched_after >= npkt,
+            "not before Npkt consecutive packets"
+        );
         assert!(switched_after <= npkt + 1);
         assert_eq!(c.state(), BottleneckState::Internet);
 
@@ -418,10 +453,7 @@ mod tests {
     fn internet_state_feedback_carries_fair_share() {
         let mut c = client();
         for sf in 0..40u64 {
-            c.on_subframe(&fused(
-                sf,
-                vec![dci(OWN, 30, sf), dci(OTHER, 70, sf)],
-            ));
+            c.on_subframe(&fused(sf, vec![dci(OWN, 30, sf), dci(OTHER, 70, sf)]));
         }
         // Force the Internet-bottleneck state.
         for i in 0..10u64 {
@@ -456,7 +488,10 @@ mod tests {
             let mut dci1 = dci(OWN, 10, sf);
             dci1.cell = CellId(1);
             per_cell.insert(CellId(1), vec![dci1]);
-            c.on_subframe(&FusedSubframe { subframe: sf, per_cell });
+            c.on_subframe(&FusedSubframe {
+                subframe: sf,
+                per_cell,
+            });
         }
         let est = c.capacity();
         assert_eq!(est.cells, 2);

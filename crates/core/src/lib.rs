@@ -28,10 +28,34 @@
 
 pub mod capacity;
 pub mod client;
+pub mod receiver;
 pub mod sender;
 pub mod translate;
 
 pub use capacity::{CapacityEstimate, CapacityEstimator};
 pub use client::{BottleneckState, PbeClient, PbeClientConfig};
+pub use receiver::{
+    NullReceiverAgent, PbeReceiverAgent, ReceiverAgent, ReceiverCtx, ReceiverFactory,
+};
 pub use sender::{PbeSender, PbeSenderConfig, SenderState};
 pub use translate::RateTranslator;
+
+use pbe_cc_algorithms::registry::{SchemeCtx, SchemeId, SchemeRegistry};
+
+/// The canonical registry key of PBE-CC.
+pub const PBE_SCHEME_ID: SchemeId = SchemeId::from_static("PBE");
+
+/// Register PBE-CC's sender in a scheme registry, through the same interface
+/// every baseline uses.
+pub fn register_pbe(registry: &mut SchemeRegistry) {
+    registry.register(PBE_SCHEME_ID, |ctx: &SchemeCtx| {
+        Box::new(PbeSender::with_defaults(ctx.rtprop_hint))
+    });
+}
+
+/// The full default registry: the eight baselines plus PBE-CC.
+pub fn default_scheme_registry() -> SchemeRegistry {
+    let mut registry = SchemeRegistry::with_baselines();
+    register_pbe(&mut registry);
+    registry
+}

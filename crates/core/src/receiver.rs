@@ -1,0 +1,231 @@
+//! Receiver-side agents: the per-subframe state machine that annotates ACKs.
+//!
+//! The end-to-end simulator models the receiver of every flow as a
+//! [`ReceiverAgent`]: a state machine that observes each subframe's control
+//! channel, follows carrier (de)activations, and may attach feedback to the
+//! acknowledgement of every delivered packet.  Baselines use the no-op
+//! [`NullReceiverAgent`]; PBE-CC plugs in [`PbeReceiverAgent`] — the
+//! decoder → fusion → client pipeline of the paper's Fig. 10a — through the
+//! same interface, so the simulator contains no PBE-specific wiring.
+//!
+//! The trait lives here (not in `pbe-netsim`) because the agent vocabulary —
+//! DCI messages, carrier events, PBE feedback — is defined below the
+//! simulator in the crate graph; `pbe-netsim` re-exports these types as part
+//! of its public API.
+
+use crate::client::{PbeClient, PbeClientConfig};
+use pbe_cc_algorithms::api::PbeFeedback;
+use pbe_cellular::carrier::CaEvent;
+use pbe_cellular::config::{CellId, Rnti};
+use pbe_cellular::dci::DciMessage;
+use pbe_pdcch::decoder::{ControlChannelDecoder, DecoderConfig};
+use pbe_pdcch::fusion::MessageFusion;
+use pbe_stats::time::Instant;
+use pbe_stats::DetRng;
+use std::collections::BTreeMap;
+
+/// A receiver-side, per-flow state machine that annotates acknowledgements.
+///
+/// All methods have no-op defaults so simple agents only implement what they
+/// observe.
+pub trait ReceiverAgent: Send {
+    /// A carrier was activated or deactivated for this flow's UE.
+    /// `total_prbs` is the PRB count of the affected cell.
+    fn on_carrier_event(&mut self, _event: &CaEvent, _total_prbs: u16) {}
+
+    /// One subframe elapsed; `dci_messages` is everything transmitted on the
+    /// PDCCHs of the network this subframe.
+    fn on_subframe(&mut self, _subframe: u64, _dci_messages: &[DciMessage]) {}
+
+    /// The sender's current smoothed RTT, for sizing averaging windows.
+    fn set_rtprop_ms(&mut self, _rtprop_ms: f64) {}
+
+    /// A data packet arrived at the receiver; the returned feedback (if any)
+    /// is piggybacked on its acknowledgement.
+    fn on_packet(&mut self, _at: Instant, _one_way_delay_ms: f64) -> Option<PbeFeedback> {
+        None
+    }
+}
+
+/// The agent used by every scheme without receiver-side machinery.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullReceiverAgent;
+
+impl ReceiverAgent for NullReceiverAgent {}
+
+/// Construction context handed to a [`ReceiverFactory`].
+#[derive(Debug, Clone)]
+pub struct ReceiverCtx {
+    /// The flow id (used to derive per-flow random streams).
+    pub flow: u32,
+    /// The RNTI of the flow's UE.
+    pub rnti: Rnti,
+    /// Initially active cells and their total PRB counts (primary first).
+    pub cells: Vec<(CellId, u16)>,
+    /// Deterministic random stream for receiver-side impairments (decoder
+    /// misses etc.); already split for the receiver subsystem.
+    pub rng: DetRng,
+}
+
+/// Factory building one receiver agent for one flow.
+pub type ReceiverFactory = Box<dyn Fn(&ReceiverCtx) -> Box<dyn ReceiverAgent> + Send + Sync>;
+
+/// PBE-CC's receiver pipeline: per-cell blind decoders, message fusion and
+/// the mobile client, exactly as `sim.rs` used to hand-wire them.
+pub struct PbeReceiverAgent {
+    decoders: BTreeMap<CellId, ControlChannelDecoder>,
+    fusion: MessageFusion,
+    client: PbeClient,
+    flow: u32,
+    rng: DetRng,
+}
+
+impl PbeReceiverAgent {
+    /// Build the pipeline for a flow.
+    pub fn new(ctx: &ReceiverCtx) -> Self {
+        let mut decoders = BTreeMap::new();
+        for (cell, total_prbs) in &ctx.cells {
+            decoders.insert(*cell, Self::decoder(*cell, *total_prbs, ctx.flow, &ctx.rng));
+        }
+        let cells: Vec<CellId> = decoders.keys().copied().collect();
+        PbeReceiverAgent {
+            fusion: MessageFusion::new(cells),
+            client: PbeClient::new(PbeClientConfig::new(ctx.rnti, ctx.cells.clone())),
+            decoders,
+            flow: ctx.flow,
+            rng: ctx.rng.clone(),
+        }
+    }
+
+    /// The factory the scheme table registers under "PBE".
+    pub fn factory() -> ReceiverFactory {
+        Box::new(|ctx| Box::new(PbeReceiverAgent::new(ctx)))
+    }
+
+    /// The mobile client (for observers that want its estimates).
+    pub fn client(&self) -> &PbeClient {
+        &self.client
+    }
+
+    fn decoder(cell: CellId, total_prbs: u16, flow: u32, rng: &DetRng) -> ControlChannelDecoder {
+        ControlChannelDecoder::new(
+            cell,
+            DecoderConfig {
+                total_prbs,
+                ..DecoderConfig::default()
+            },
+            rng.split_indexed("cell", u64::from(cell.0) << 16 | u64::from(flow)),
+        )
+    }
+}
+
+impl ReceiverAgent for PbeReceiverAgent {
+    fn on_carrier_event(&mut self, event: &CaEvent, total_prbs: u16) {
+        if event.activated {
+            let flow = self.flow;
+            let rng = &self.rng;
+            self.decoders
+                .entry(event.cell)
+                .or_insert_with(|| Self::decoder(event.cell, total_prbs, flow, rng));
+            self.client.add_cell(event.cell, total_prbs);
+        } else {
+            self.decoders.remove(&event.cell);
+            self.client.remove_cell(event.cell);
+        }
+        let cells: Vec<CellId> = self.decoders.keys().copied().collect();
+        self.fusion.set_watched_cells(cells);
+    }
+
+    fn on_subframe(&mut self, subframe: u64, dci_messages: &[DciMessage]) {
+        let mut fused_ready = Vec::new();
+        for (cell, decoder) in self.decoders.iter_mut() {
+            let decoded = decoder.decode_subframe(subframe, dci_messages);
+            fused_ready.extend(self.fusion.ingest(*cell, subframe, decoded));
+        }
+        for fused in fused_ready {
+            self.client.on_subframe(&fused);
+        }
+    }
+
+    fn set_rtprop_ms(&mut self, rtprop_ms: f64) {
+        self.client.set_rtprop_ms(rtprop_ms);
+    }
+
+    fn on_packet(&mut self, at: Instant, one_way_delay_ms: f64) -> Option<PbeFeedback> {
+        Some(self.client.on_packet(at, one_way_delay_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbe_cellular::dci::DciFormat;
+    use pbe_cellular::mcs::McsIndex;
+
+    fn ctx() -> ReceiverCtx {
+        ReceiverCtx {
+            flow: 1,
+            rnti: Rnti(0x0100),
+            cells: vec![(CellId(0), 100)],
+            rng: DetRng::new(7).split("decoders"),
+        }
+    }
+
+    fn dci(cell: CellId, rnti: Rnti, prbs: u16, subframe: u64) -> DciMessage {
+        DciMessage {
+            cell,
+            subframe,
+            rnti,
+            format: DciFormat::Format1,
+            first_prb: 0,
+            num_prbs: prbs,
+            mcs: McsIndex(20),
+            spatial_streams: 2,
+            new_data_indicator: true,
+            harq_process: 0,
+            tbs_bits: u32::from(prbs) * 1200,
+        }
+    }
+
+    #[test]
+    fn null_agent_never_produces_feedback() {
+        let mut agent = NullReceiverAgent;
+        agent.on_subframe(3, &[]);
+        agent.set_rtprop_ms(40.0);
+        assert!(agent.on_packet(Instant::from_millis(5), 21.0).is_none());
+    }
+
+    #[test]
+    fn pbe_agent_produces_capacity_feedback() {
+        let mut agent = PbeReceiverAgent::new(&ctx());
+        for sf in 0..60u64 {
+            agent.on_subframe(sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
+        }
+        let fb = agent
+            .on_packet(Instant::from_millis(60), 21.0)
+            .expect("PBE annotates every ACK");
+        assert!(fb.capacity_bps() > 1e6, "capacity {}", fb.capacity_bps());
+        assert!(!fb.internet_bottleneck);
+    }
+
+    #[test]
+    fn carrier_events_resize_the_decoder_set() {
+        let mut agent = PbeReceiverAgent::new(&ctx());
+        let activate = CaEvent {
+            ue: pbe_cellular::config::UeId(1),
+            cell: CellId(1),
+            activated: true,
+            at: Instant::from_millis(10),
+        };
+        agent.on_carrier_event(&activate, 50);
+        assert_eq!(agent.decoders.len(), 2);
+        assert_eq!(agent.client().monitor().cells(), vec![CellId(0), CellId(1)]);
+        let deactivate = CaEvent {
+            activated: false,
+            at: Instant::from_millis(20),
+            ..activate
+        };
+        agent.on_carrier_event(&deactivate, 50);
+        assert_eq!(agent.decoders.len(), 1);
+    }
+}

@@ -24,6 +24,10 @@ use pbe_cc_algorithms::windowed::{WindowedMax, WindowedMin};
 use pbe_stats::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
+/// Conservative initial pacing rate before the first client feedback arrives
+/// (~10 packets per 100 ms, the same floor the baseline schemes start from).
+const INITIAL_RATE_BPS: f64 = 1.2e6;
+
 /// Configuration of the PBE-CC sender.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct PbeSenderConfig {
@@ -157,9 +161,12 @@ impl PbeSender {
     fn ramp_rate(&self, now: Instant) -> f64 {
         let (start, from_rate) = match self.ramp_start {
             Some(v) => v,
-            None => return (8 * MSS_BYTES) as f64,
+            // Before the first client feedback: the conservative initial rate
+            // (~10 packets per 100 ms) so the feedback loop bootstraps within
+            // one RTT instead of idling at a packet-per-second trickle.
+            None => return INITIAL_RATE_BPS,
         };
-        let target = self.fair_share_bps.max(8.0 * MSS_BYTES as f64 * 8.0);
+        let target = self.fair_share_bps.max(INITIAL_RATE_BPS);
         let ramp_len = self.rtprop().as_secs_f64() * self.config.startup_rtts;
         let elapsed = now.saturating_since(start).as_secs_f64();
         let frac = (elapsed / ramp_len.max(1e-3)).clamp(0.0, 1.0);
@@ -175,7 +182,10 @@ impl CongestionControl for PbeSender {
     fn on_ack(&mut self, ack: &AckInfo) {
         let now = ack.now;
         self.time_total += now.saturating_since(self.last_ack_time);
-        if matches!(self.state, SenderState::InternetBottleneck | SenderState::Draining) {
+        if matches!(
+            self.state,
+            SenderState::InternetBottleneck | SenderState::Draining
+        ) {
             self.time_in_internet += now.saturating_since(self.last_ack_time);
         }
         self.last_ack_time = now;
@@ -198,7 +208,7 @@ impl CongestionControl for PbeSender {
         self.feedback_rate_bps = fb.capacity_bps().min(1e11);
         self.fair_share_bps = fb.fair_share_rate_bps;
         if self.ramp_start.is_none() {
-            self.ramp_start = Some((now, 8.0 * MSS_BYTES as f64 * 8.0));
+            self.ramp_start = Some((now, INITIAL_RATE_BPS));
         }
         if self.fair_share_smoothed == 0.0 {
             self.fair_share_smoothed = self.fair_share_bps;
@@ -220,10 +230,12 @@ impl CongestionControl for PbeSender {
                 if fb.internet_bottleneck {
                     self.drain_until = Some(now + self.rtprop());
                     self.transition(SenderState::Draining, now);
-                } else if self.fair_share_bps > self.fair_share_smoothed * self.config.restart_ratio {
+                } else if self.fair_share_bps > self.fair_share_smoothed * self.config.restart_ratio
+                {
                     // A carrier activation (or a competitor leaving) opened a
                     // lot of new capacity: approach it gently again.
-                    self.ramp_start = Some((now, self.feedback_rate_bps.min(self.fair_share_smoothed)));
+                    self.ramp_start =
+                        Some((now, self.feedback_rate_bps.min(self.fair_share_smoothed)));
                     self.fair_share_smoothed = self.fair_share_bps;
                     self.transition(SenderState::LinearIncrease, now);
                 }
@@ -257,7 +269,7 @@ impl CongestionControl for PbeSender {
     }
 
     fn pacing_rate_bps(&self) -> f64 {
-        let floor = 8.0 * MSS_BYTES as f64;
+        let floor = INITIAL_RATE_BPS;
         match self.state {
             SenderState::LinearIncrease => self.ramp_rate(self.last_ack_time).max(floor),
             SenderState::WirelessBottleneck => self.feedback_rate_bps.max(floor),
@@ -298,7 +310,14 @@ mod tests {
     use super::*;
     use pbe_cc_algorithms::api::PbeFeedback;
 
-    fn ack(now_ms: u64, rtt_ms: u64, rate_bps: f64, capacity_bps: f64, fair_bps: f64, internet: bool) -> AckInfo {
+    fn ack(
+        now_ms: u64,
+        rtt_ms: u64,
+        rate_bps: f64,
+        capacity_bps: f64,
+        fair_bps: f64,
+        internet: bool,
+    ) -> AckInfo {
         AckInfo {
             now: Instant::from_millis(now_ms),
             packet_id: now_ms,

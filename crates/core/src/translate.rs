@@ -216,7 +216,60 @@ mod tests {
         assert!((proto - 0.068).abs() < 1e-12);
         assert!(retx_high > retx_low);
         assert!(retx_weak > retx_high);
-        assert!(retx_weak < 0.20, "retransmission overhead stays plausible: {retx_weak}");
+        assert!(
+            retx_weak < 0.20,
+            "retransmission overhead stays plausible: {retx_weak}"
+        );
+    }
+
+    #[test]
+    fn eqn_five_roundtrips_from_goodput_to_capacity_and_back() {
+        // Eqn. 5 forward: Cp = Ct·(1 + ε(L, BER)) + γ·Cp, i.e.
+        // Cp = Ct·(1 + ε) / (1 − γ).  Starting from a goodput Ct, build the
+        // physical capacity the equation implies, then solve backwards with
+        // the bisection solver: the round trip must land on the original Ct.
+        let t = RateTranslator::new(0.068);
+        for &ct in &[4_000.0f64, 17_500.0, 48_000.0, 96_000.0, 141_000.0] {
+            for &ber in &[5e-7, 2e-6, 5e-6] {
+                let eps = tb_error_probability(ct as u64, ber);
+                let cp = ct * (1.0 + eps) / (1.0 - 0.068);
+                let back = t.translate_exact(cp, ber);
+                assert!(
+                    (back - ct).abs() / ct < 1e-3,
+                    "ct={ct} ber={ber}: round-tripped to {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_tb_error_roundtrip_is_exact() {
+        // The measured-retransmission variant is closed-form, so its round
+        // trip is exact to floating-point: Cp = Ct·(1+r)/(1−γ).
+        let t = RateTranslator::new(0.068);
+        for &ct in &[1_000.0f64, 30_000.0, 120_000.0] {
+            for &r in &[0.0, 0.06, 0.25, 1.0] {
+                let cp = ct * (1.0 + r) / (1.0 - 0.068);
+                let back = t.translate_with_tb_error(cp, r);
+                assert!((back - ct).abs() < 1e-6, "ct={ct} r={r}: {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_lookup_roundtrips_within_quantisation() {
+        // The lookup table quantises Cp to 500-bit steps; the round trip
+        // through the table must stay within one step of the exact solver.
+        let mut t = RateTranslator::default();
+        for &ct in &[9_000.0f64, 52_345.0, 133_700.0] {
+            let eps = tb_error_probability(ct as u64, 2e-6);
+            let cp = ct * (1.0 + eps) / (1.0 - 0.068);
+            let back = t.translate(cp, 2e-6);
+            assert!(
+                (back - ct).abs() <= 600.0,
+                "ct={ct}: table round-trip gave {back}"
+            );
+        }
     }
 
     proptest! {

@@ -1,16 +1,24 @@
 //! Flow configuration and results.
 
+use crate::scheme::FIXED_SCHEME_ID;
 use pbe_cc_algorithms::api::SchemeName;
+use pbe_cc_algorithms::registry::SchemeId;
 use pbe_cellular::config::UeId;
 use pbe_stats::time::{Duration, Instant};
 use pbe_stats::FlowSummary;
 use serde::{Deserialize, Serialize};
 
 /// Which congestion-control scheme drives a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The first three variants are the pre-registry serde shims (their JSON
+/// representation is unchanged); [`SchemeChoice::Named`] addresses any scheme
+/// registered in the simulation's
+/// [`SchemeTable`](crate::scheme::SchemeTable), so experiments can run
+/// schemes this workspace has never heard of.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchemeChoice {
     /// PBE-CC: the sender from `pbe-core`, with the PDCCH decoders, message
-    /// fusion and PBE client instantiated at the receiver.
+    /// fusion and PBE client plugged in as the flow's receiver agent.
     Pbe,
     /// One of the baseline schemes (no receiver-side feedback beyond ACKs).
     Baseline(SchemeName),
@@ -18,16 +26,32 @@ pub enum SchemeChoice {
     /// carrier-aggregation and retransmission micro-experiments, and as the
     /// controlled competitor of §6.3.3).
     FixedRate,
+    /// Any scheme registered in the simulation's scheme table under this
+    /// registry key.
+    Named(String),
 }
 
 impl SchemeChoice {
-    /// Display name used in result tables.
-    pub fn label(&self) -> &'static str {
+    /// A flow driven by an externally registered scheme.
+    pub fn named(id: impl Into<String>) -> Self {
+        SchemeChoice::Named(id.into())
+    }
+
+    /// The registry key this choice resolves to.  Display names flow from
+    /// here — `SchemeId`'s `Display` is the single source of truth.
+    pub fn id(&self) -> SchemeId {
         match self {
-            SchemeChoice::Pbe => "PBE",
-            SchemeChoice::Baseline(name) => name.as_str(),
-            SchemeChoice::FixedRate => "Fixed",
+            SchemeChoice::Pbe => pbe_core::PBE_SCHEME_ID,
+            SchemeChoice::Baseline(name) => SchemeId::from(*name),
+            SchemeChoice::FixedRate => FIXED_SCHEME_ID,
+            SchemeChoice::Named(name) => SchemeId::new(name.clone()),
         }
+    }
+}
+
+impl std::fmt::Display for SchemeChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id().fmt(f)
     }
 }
 
@@ -131,7 +155,7 @@ mod tests {
             .with_wired_bottleneck(24e6, 250_000)
             .with_one_way_delay(Duration::from_millis(148))
             .with_lifetime(Instant::from_secs(5), Instant::from_secs(25));
-        assert_eq!(f.scheme.label(), "PBE");
+        assert_eq!(f.scheme.to_string(), "PBE");
         assert_eq!(f.wired_bottleneck_bps, Some(24e6));
         assert_eq!(f.server_one_way_delay, Duration::from_millis(148));
         assert_eq!(f.start, Instant::from_secs(5));
@@ -139,8 +163,10 @@ mod tests {
     }
 
     #[test]
-    fn scheme_labels() {
-        assert_eq!(SchemeChoice::Baseline(SchemeName::Bbr).label(), "BBR");
-        assert_eq!(SchemeChoice::FixedRate.label(), "Fixed");
+    fn scheme_display_goes_through_the_registry_key() {
+        assert_eq!(SchemeChoice::Baseline(SchemeName::Bbr).to_string(), "BBR");
+        assert_eq!(SchemeChoice::FixedRate.to_string(), "Fixed");
+        assert_eq!(SchemeChoice::named("TOY").to_string(), "TOY");
+        assert_eq!(SchemeChoice::Pbe.id(), SchemeId::new("PBE"));
     }
 }

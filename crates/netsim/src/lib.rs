@@ -4,22 +4,71 @@
 //! a content server on the wired Internet, a wired path with its own
 //! propagation delay and (optionally) its own bottleneck link and queue, the
 //! cellular base station with per-UE queues and carrier aggregation
-//! (`pbe-cellular`), and the mobile receiver.  For PBE-CC flows the receiver
-//! side additionally runs the control-channel decoders, message fusion and
-//! the PBE client (`pbe-pdcch` + `pbe-core`), whose feedback is piggybacked
-//! on every acknowledgement exactly as in the paper's §5 prototype.
+//! (`pbe-cellular`), and the mobile receiver.  The clock advances in 1 ms
+//! subframes (the cellular MAC granularity); all randomness derives from a
+//! single experiment seed, so a run is exactly reproducible.
 //!
-//! The clock advances in 1 ms subframes (the cellular MAC granularity);
-//! within a tick the wired path and pacing operate at microsecond
-//! resolution.  All randomness is derived from a single experiment seed, so
-//! a run is exactly reproducible.
+//! # Architecture: schemes, receiver agents, observers
+//!
+//! The engine in [`sim`] is *scheme-agnostic*; three composable APIs carry
+//! everything scheme- or experiment-specific:
+//!
+//! * **Schemes** — congestion controllers are built from the string-keyed
+//!   [`SchemeRegistry`](pbe_cc_algorithms::registry::SchemeRegistry).  The
+//!   [`SchemeTable`](scheme::SchemeTable) used by a simulation maps each
+//!   registry key to its sender-side factory; PBE-CC is one entry like any
+//!   baseline.  [`SchemeChoice::Named`] selects externally registered
+//!   schemes, so an experiment can add one without touching this crate.
+//! * **Receiver agents** — per-flow, receiver-side state machines
+//!   implementing [`ReceiverAgent`] (re-exported from `pbe-core`): they
+//!   observe each subframe's control channel, follow carrier events, and
+//!   annotate ACKs.  PBE-CC's decoder → fusion → client pipeline
+//!   ([`PbeReceiverAgent`](pbe_core::PbeReceiverAgent)) plugs in here; every
+//!   other scheme gets the no-op agent.
+//! * **Observers** — the engine narrates typed [`SimEvent`]s (subframes
+//!   scheduled, ACKs processed, packets delivered, capacity estimates,
+//!   carrier and bottleneck-state changes) to any registered
+//!   [`Observer`].  The standard [`SimResult`] is assembled by the built-in
+//!   metrics observer from the same stream the experiment binaries tap.
+//!
+//! # Entry points
+//!
+//! [`SimBuilder`] is the fluent front door:
+//!
+//! ```
+//! use pbe_netsim::{SimBuilder, FlowConfig, SchemeChoice};
+//! use pbe_cellular::config::{CellId, UeConfig, UeId};
+//! use pbe_cellular::channel::MobilityTrace;
+//! use pbe_stats::time::Duration;
+//!
+//! let duration = Duration::from_secs(1);
+//! let ue = UeId(1);
+//! let result = SimBuilder::new()
+//!     .seed(1)
+//!     .duration(duration)
+//!     .ue(UeConfig::new(ue, vec![CellId(0)], 1, -85.0), MobilityTrace::stationary(-85.0))
+//!     .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration))
+//!     .run();
+//! assert_eq!(result.flows.len(), 1);
+//! ```
+//!
+//! [`Simulation::new`] with a plain [`SimConfig`] remains for serialized
+//! scenarios and existing callers; both paths run the identical engine.
 
+pub mod builder;
 pub mod flow;
+pub mod metrics;
+pub mod observer;
 pub mod rate;
+pub mod scheme;
 pub mod sim;
 pub mod wired;
 
+pub use builder::SimBuilder;
 pub use flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
+pub use observer::{Observer, SimEvent};
+pub use pbe_core::receiver::{NullReceiverAgent, ReceiverAgent, ReceiverCtx, ReceiverFactory};
 pub use rate::DeliveryRateEstimator;
-pub use sim::{SimConfig, SimResult, Simulation};
+pub use scheme::{SchemeTable, FIXED_SCHEME_ID};
+pub use sim::{PrbInterval, SimConfig, SimResult, Simulation};
 pub use wired::WiredPath;

@@ -1,0 +1,166 @@
+//! The built-in metrics observer: from the event stream to [`SimResult`].
+//!
+//! Everything the simulator reports — per-flow summaries, throughput/delay
+//! timelines, the primary-cell PRB fairness timeline, carrier-aggregation
+//! events — is derived purely from the [`SimEvent`] stream.  The engine
+//! registers one [`MetricsCollector`] for every run; experiment binaries
+//! that need a different cut of the same telemetry register their own
+//! observers beside it.
+
+use crate::flow::{FlowConfig, FlowResult};
+use crate::observer::{Observer, SimEvent};
+use crate::sim::{PrbInterval, SimResult};
+use pbe_cellular::carrier::CaEvent;
+use pbe_cellular::config::{CellId, UeId};
+use pbe_stats::summary::FlowSummaryBuilder;
+use std::collections::HashMap;
+
+struct FlowMetrics {
+    id: u32,
+    scheme: String,
+    summary: FlowSummaryBuilder,
+    delivered: u64,
+    lost: u64,
+    internet_bottleneck_fraction: f64,
+    carrier_aggregation_triggered: bool,
+}
+
+/// Accumulates the standard [`SimResult`] from the event stream.
+pub struct MetricsCollector {
+    flows: Vec<FlowMetrics>,
+    index_of: HashMap<u32, usize>,
+    /// UE → flow id used for the primary-cell PRB timeline.
+    flow_of_ue: HashMap<UeId, u32>,
+    primary_cell: CellId,
+    ca_events: Vec<CaEvent>,
+    prb_timeline: Vec<PrbInterval>,
+    prb_accum: HashMap<u32, f64>,
+    prb_accum_start_ms: u64,
+}
+
+impl MetricsCollector {
+    /// Set up collection for the given flows and primary cell.
+    pub fn new(flows: &[FlowConfig], primary_cell: CellId) -> Self {
+        let mut flow_of_ue = HashMap::new();
+        for f in flows {
+            // The first configured flow of a UE owns the PRB attribution,
+            // mirroring the historical accounting.
+            flow_of_ue.entry(f.ue).or_insert(f.id);
+        }
+        MetricsCollector {
+            flows: flows
+                .iter()
+                .map(|f| FlowMetrics {
+                    id: f.id,
+                    scheme: f.scheme.to_string(),
+                    summary: FlowSummaryBuilder::new(f.scheme.to_string()),
+                    delivered: 0,
+                    lost: 0,
+                    internet_bottleneck_fraction: 0.0,
+                    carrier_aggregation_triggered: false,
+                })
+                .collect(),
+            index_of: flows.iter().enumerate().map(|(i, f)| (f.id, i)).collect(),
+            flow_of_ue,
+            primary_cell,
+            ca_events: Vec::new(),
+            prb_timeline: Vec::new(),
+            prb_accum: HashMap::new(),
+            prb_accum_start_ms: 0,
+        }
+    }
+
+    /// Finish collection and assemble the result.
+    pub fn finish(mut self) -> SimResult {
+        let flows = self
+            .flows
+            .iter_mut()
+            .map(|m| {
+                m.summary
+                    .set_internet_bottleneck_fraction(m.internet_bottleneck_fraction);
+                m.summary
+                    .set_carrier_aggregation_triggered(m.carrier_aggregation_triggered);
+                let windows = m.summary.windows().windows();
+                FlowResult {
+                    id: m.id,
+                    scheme: m.scheme.clone(),
+                    summary: m.summary.build(),
+                    throughput_timeline_mbps: windows.iter().map(|w| w.throughput_mbps).collect(),
+                    delay_timeline_ms: windows.iter().map(|w| w.mean_delay_ms).collect(),
+                    packets_lost: m.lost,
+                    packets_delivered: m.delivered,
+                }
+            })
+            .collect();
+        SimResult {
+            flows,
+            primary_prb_timeline: self.prb_timeline,
+            ca_events: self.ca_events,
+        }
+    }
+}
+
+impl Observer for MetricsCollector {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        match event {
+            SimEvent::PacketDelivered {
+                flow,
+                at,
+                bytes,
+                one_way,
+                delivered,
+                ..
+            } => {
+                let Some(&idx) = self.index_of.get(flow) else {
+                    return;
+                };
+                let m = &mut self.flows[idx];
+                if *delivered {
+                    m.delivered += 1;
+                    m.summary.record_packet(*at, *bytes, *one_way);
+                } else {
+                    m.lost += 1;
+                }
+            }
+            SimEvent::SubframeScheduled { now, report } => {
+                for cr in &report.cell_reports {
+                    if cr.cell != self.primary_cell {
+                        continue;
+                    }
+                    for (ue, flow_id) in &self.flow_of_ue {
+                        let prbs = cr.prb_usage.allocated_to(*ue);
+                        *self.prb_accum.entry(*flow_id).or_insert(0.0) += f64::from(prbs);
+                    }
+                }
+                let t_ms = now.as_millis();
+                if (t_ms + 1) % 100 == 0 {
+                    let mut per_ue = HashMap::new();
+                    for (flow_id, total) in self.prb_accum.drain() {
+                        per_ue.insert(flow_id, total / 100.0);
+                    }
+                    self.prb_timeline.push(PrbInterval {
+                        start_s: self.prb_accum_start_ms as f64 / 1000.0,
+                        per_ue,
+                    });
+                    self.prb_accum_start_ms = t_ms + 1;
+                }
+            }
+            SimEvent::CaTriggered { event } => self.ca_events.push(*event),
+            SimEvent::FlowClosed {
+                flow,
+                internet_bottleneck_fraction,
+                carrier_aggregation_triggered,
+            } => {
+                let Some(&idx) = self.index_of.get(flow) else {
+                    return;
+                };
+                let m = &mut self.flows[idx];
+                m.internet_bottleneck_fraction = *internet_bottleneck_fraction;
+                m.carrier_aggregation_triggered = *carrier_aggregation_triggered;
+            }
+            SimEvent::AckProcessed { .. }
+            | SimEvent::CapacityEstimated { .. }
+            | SimEvent::StateChanged { .. } => {}
+        }
+    }
+}

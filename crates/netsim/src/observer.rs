@@ -1,0 +1,100 @@
+//! Typed simulation events and the observer interface.
+//!
+//! The simulation engine narrates everything measurable as [`SimEvent`]s.
+//! Observers registered through
+//! [`SimBuilder::observe`](crate::builder::SimBuilder::observe) receive every
+//! event; the built-in metrics collector that produces
+//! [`SimResult`](crate::sim::SimResult) is itself an observer of the same
+//! stream, so an experiment binary that needs a custom telemetry cut (the
+//! `fig*` binaries, for instance) taps the events instead of re-deriving
+//! numbers from bespoke simulator hooks.
+
+use pbe_cc_algorithms::api::{AckInfo, PbeFeedback};
+use pbe_cellular::carrier::CaEvent;
+use pbe_cellular::network::NetworkTickReport;
+use pbe_stats::time::{Duration, Instant};
+
+/// One observable simulation event.
+#[derive(Debug)]
+pub enum SimEvent<'a> {
+    /// The radio access network finished scheduling one subframe.  The
+    /// report carries the DCI messages, per-cell PRB usage and deliveries.
+    SubframeScheduled {
+        /// Subframe start time.
+        now: Instant,
+        /// The network's full per-subframe report.
+        report: &'a NetworkTickReport,
+    },
+    /// A secondary carrier was activated or deactivated.
+    CaTriggered {
+        /// The carrier-aggregation event.
+        event: CaEvent,
+    },
+    /// The sender of a flow processed one acknowledgement (after the
+    /// congestion controller saw it).
+    AckProcessed {
+        /// Flow id.
+        flow: u32,
+        /// The acknowledgement, including any PBE feedback it carried.
+        ack: &'a AckInfo,
+    },
+    /// A packet reached the receiver, or was lost — either on the radio link
+    /// (HARQ exhaustion) or dropped at the wired bottleneck queue.
+    PacketDelivered {
+        /// Flow id.
+        flow: u32,
+        /// Delivery (or loss) time.  For wired drops this is the send time —
+        /// the packet never crossed the path.
+        at: Instant,
+        /// Payload bytes.
+        bytes: u64,
+        /// One-way delay experienced by the packet (zero for wired drops,
+        /// which have no meaningful delay sample).
+        one_way: Duration,
+        /// False if the packet was lost.
+        delivered: bool,
+        /// True when the loss happened at the wired bottleneck queue rather
+        /// than on the radio link; always false when `delivered` is true.
+        wired_drop: bool,
+    },
+    /// A receiver agent produced a capacity estimate for an ACK.
+    CapacityEstimated {
+        /// Flow id.
+        flow: u32,
+        /// Time of the estimate.
+        at: Instant,
+        /// The feedback piggybacked on the acknowledgement.
+        feedback: PbeFeedback,
+    },
+    /// A flow's receiver agent changed its bottleneck-state belief.
+    StateChanged {
+        /// Flow id.
+        flow: u32,
+        /// Time of the switch.
+        at: Instant,
+        /// The new belief: true if the wired Internet is the bottleneck.
+        internet_bottleneck: bool,
+    },
+    /// A flow reached the end of the simulation; final sender-side stats.
+    FlowClosed {
+        /// Flow id.
+        flow: u32,
+        /// Fraction of time the sender spent in the Internet-bottleneck
+        /// state (0 for schemes without the concept).
+        internet_bottleneck_fraction: f64,
+        /// True if the flow's UE ever aggregated a secondary carrier.
+        carrier_aggregation_triggered: bool,
+    },
+}
+
+/// A consumer of simulation events.
+pub trait Observer {
+    /// Called for every event, in simulation order.
+    fn on_event(&mut self, event: &SimEvent<'_>);
+}
+
+impl<F: FnMut(&SimEvent<'_>)> Observer for F {
+    fn on_event(&mut self, event: &SimEvent<'_>) {
+        self(event)
+    }
+}

@@ -57,7 +57,10 @@ impl DeliveryRateEstimator {
             return 0.0;
         }
         let oldest = self.samples.front().expect("non-empty").0;
-        let span = now.saturating_since(oldest).as_secs_f64().max(self.window.as_secs_f64() * 0.25);
+        let span = now
+            .saturating_since(oldest)
+            .as_secs_f64()
+            .max(self.window.as_secs_f64() * 0.25);
         self.total_bytes as f64 * 8.0 / span
     }
 }

@@ -1,28 +1,37 @@
-//! The end-to-end simulation: servers, wired paths, the cellular network and
-//! the mobile receivers, advanced together one subframe at a time.
+//! The end-to-end simulation engine: servers, wired paths, the cellular
+//! network and the mobile receivers, advanced together one subframe at a
+//! time.
+//!
+//! The engine is scheme-agnostic.  Congestion controllers come from the
+//! [`SchemeTable`](crate::scheme::SchemeTable), receiver-side per-flow state
+//! machines are [`ReceiverAgent`]s built through the same table, and every
+//! measurable occurrence is narrated to the registered
+//! [`Observer`](crate::observer::Observer)s as typed
+//! [`SimEvent`](crate::observer::SimEvent)s — the standard [`SimResult`] is
+//! produced by the built-in [`MetricsCollector`](crate::metrics::MetricsCollector)
+//! listening to that same stream.
 
 use crate::flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
+use crate::metrics::MetricsCollector;
+use crate::observer::{Observer, SimEvent};
 use crate::rate::DeliveryRateEstimator;
+use crate::scheme::SchemeTable;
 use crate::wired::WiredPath;
 use pbe_cc_algorithms::api::{AckInfo, CongestionControl, PbeFeedback, MSS_BYTES};
-use pbe_cc_algorithms::baseline_by_name;
+use pbe_cc_algorithms::registry::SchemeCtx;
 use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::network::CellularNetwork;
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_core::client::{PbeClient, PbeClientConfig};
-use pbe_core::sender::PbeSender;
-use pbe_pdcch::decoder::{ControlChannelDecoder, DecoderConfig};
-use pbe_pdcch::fusion::MessageFusion;
-use pbe_stats::summary::FlowSummaryBuilder;
-use pbe_stats::time::{Duration, Instant, MICROS_PER_MS};
+use pbe_core::receiver::{ReceiverAgent, ReceiverCtx};
+use pbe_stats::time::{Duration, Instant};
 use pbe_stats::DetRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Configuration of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Cellular-network configuration (cells, CA policy, overheads).
     pub cellular: CellularConfig,
@@ -40,7 +49,12 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// A single-UE, single-flow scenario on the default three-cell network.
-    pub fn single_flow(scheme: SchemeChoice, duration: Duration, load: CellLoadProfile, seed: u64) -> Self {
+    pub fn single_flow(
+        scheme: SchemeChoice,
+        duration: Duration,
+        load: CellLoadProfile,
+        seed: u64,
+    ) -> Self {
         let ue = UeId(1);
         SimConfig {
             cellular: CellularConfig::default(),
@@ -84,12 +98,6 @@ impl SimResult {
     }
 }
 
-struct PbeReceiver {
-    decoders: HashMap<CellId, ControlChannelDecoder>,
-    fusion: MessageFusion,
-    client: PbeClient,
-}
-
 struct PendingEvent {
     arrive_at: Instant,
     packet_id: u64,
@@ -103,6 +111,9 @@ struct PendingEvent {
 struct FlowState {
     config: FlowConfig,
     cc: Option<Box<dyn CongestionControl>>,
+    receiver: Box<dyn ReceiverAgent>,
+    /// Last bottleneck-state flag fed back, for `StateChanged` events.
+    last_internet_flag: bool,
     downlink: WiredPath,
     allowance_bytes: f64,
     inflight_bytes: u64,
@@ -110,78 +121,121 @@ struct FlowState {
     rate_est: DeliveryRateEstimator,
     srtt: Duration,
     pending: VecDeque<PendingEvent>,
-    summary: FlowSummaryBuilder,
-    receiver: Option<PbeReceiver>,
-    delivered: u64,
-    lost: u64,
 }
 
 /// The simulation driver.
 pub struct Simulation {
     config: SimConfig,
+    table: SchemeTable,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+fn emit(observers: &mut [Box<dyn Observer>], metrics: &mut MetricsCollector, event: SimEvent<'_>) {
+    metrics.on_event(&event);
+    for o in observers.iter_mut() {
+        o.on_event(&event);
+    }
 }
 
 impl Simulation {
-    /// Create a simulation from its configuration.
+    /// Create a simulation from its configuration, with the standard scheme
+    /// table and no external observers.
     pub fn new(config: SimConfig) -> Self {
-        Simulation { config }
+        Simulation::with_parts(config, SchemeTable::standard(), Vec::new())
+    }
+
+    /// Create a simulation with a custom scheme table and observers (the
+    /// [`SimBuilder`](crate::builder::SimBuilder) entry point).
+    pub fn with_parts(
+        config: SimConfig,
+        table: SchemeTable,
+        observers: Vec<Box<dyn Observer>>,
+    ) -> Self {
+        Simulation {
+            config,
+            table,
+            observers,
+        }
+    }
+
+    /// Register an additional observer.
+    pub fn add_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observers.push(observer);
+    }
+
+    /// The simulation's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
     }
 
     /// Run the simulation to completion and produce the per-flow results.
-    pub fn run(&self) -> SimResult {
+    pub fn run(&mut self) -> SimResult {
         let cfg = &self.config;
+        let table = &self.table;
+        let observers = &mut self.observers;
+        let primary_cell = cfg
+            .cellular
+            .cells
+            .first()
+            .map(|c| c.id)
+            .unwrap_or(CellId(0));
+        let mut metrics = MetricsCollector::new(&cfg.flows, primary_cell);
+
         let mut net = CellularNetwork::new(cfg.cellular.clone(), cfg.load, cfg.seed);
         for (ue_cfg, trace) in &cfg.ues {
             net.add_ue(ue_cfg.clone(), trace.clone());
         }
         let decoder_rng = DetRng::new(cfg.seed).split("decoders");
 
-        // Build per-flow state.
+        // Build per-flow state: congestion controller and receiver agent both
+        // come from the scheme table — the engine knows no scheme by name.
         let mut flows: Vec<FlowState> = cfg
             .flows
             .iter()
             .map(|f| {
-                let rtprop_hint = Duration::from_micros(2 * f.server_one_way_delay.as_micros() + 10_000);
-                let cc: Option<Box<dyn CongestionControl>> = match f.scheme {
-                    SchemeChoice::Pbe => Some(Box::new(PbeSender::with_defaults(rtprop_hint))),
-                    SchemeChoice::Baseline(name) => Some(baseline_by_name(name, rtprop_hint)),
-                    SchemeChoice::FixedRate => None,
-                };
-                let receiver = if matches!(f.scheme, SchemeChoice::Pbe) {
-                    let rnti = net.rnti_of(f.ue).expect("flow UE registered");
-                    let primary = cfg
-                        .ues
-                        .iter()
-                        .find(|(u, _)| u.id == f.ue)
-                        .map(|(u, _)| u.primary_cell())
-                        .expect("flow UE configured");
-                    let total_prbs = cfg.cellular.cell(primary).expect("primary cell exists").total_prbs();
-                    let mut decoders = HashMap::new();
-                    decoders.insert(
-                        primary,
-                        ControlChannelDecoder::new(
-                            primary,
-                            DecoderConfig {
-                                total_prbs,
-                                ..DecoderConfig::default()
-                            },
-                            decoder_rng.split_indexed("cell", u64::from(primary.0) << 16 | u64::from(f.id)),
-                        ),
-                    );
-                    Some(PbeReceiver {
-                        decoders,
-                        fusion: MessageFusion::new(vec![primary]),
-                        client: PbeClient::new(PbeClientConfig::new(rnti, vec![(primary, total_prbs)])),
-                    })
-                } else {
-                    None
-                };
+                let rtprop_hint =
+                    Duration::from_micros(2 * f.server_one_way_delay.as_micros() + 10_000);
+                let scheme = f.scheme.id();
+                let cc = table.build_cc(
+                    &scheme,
+                    &SchemeCtx {
+                        rtprop_hint,
+                        seed: cfg.seed,
+                    },
+                );
+                let rnti = net.rnti_of(f.ue).expect("flow UE registered");
+                let primary = cfg
+                    .ues
+                    .iter()
+                    .find(|(u, _)| u.id == f.ue)
+                    .map(|(u, _)| u.primary_cell())
+                    .expect("flow UE configured");
+                let total_prbs = cfg
+                    .cellular
+                    .cell(primary)
+                    .expect("primary cell exists")
+                    .total_prbs();
+                let receiver = table.build_receiver(
+                    &scheme,
+                    &ReceiverCtx {
+                        flow: f.id,
+                        rnti,
+                        cells: vec![(primary, total_prbs)],
+                        rng: decoder_rng.clone(),
+                    },
+                );
                 let downlink = match f.wired_bottleneck_bps {
-                    Some(rate) => WiredPath::with_bottleneck(f.server_one_way_delay, rate, f.wired_queue_bytes),
+                    Some(rate) => WiredPath::with_bottleneck(
+                        f.server_one_way_delay,
+                        rate,
+                        f.wired_queue_bytes,
+                    ),
                     None => WiredPath::unconstrained(f.server_one_way_delay),
                 };
                 FlowState {
                     cc,
+                    receiver,
+                    last_internet_flag: false,
                     downlink,
                     allowance_bytes: 0.0,
                     inflight_bytes: 0,
@@ -189,10 +243,6 @@ impl Simulation {
                     rate_est: DeliveryRateEstimator::new(rtprop_hint),
                     srtt: rtprop_hint,
                     pending: VecDeque::new(),
-                    summary: FlowSummaryBuilder::new(f.scheme.label()),
-                    receiver,
-                    delivered: 0,
-                    lost: 0,
                     config: f.clone(),
                 }
             })
@@ -200,12 +250,6 @@ impl Simulation {
 
         let mut packet_owner: HashMap<u64, usize> = HashMap::new();
         let mut next_packet_id: u64 = 1;
-        let mut ca_events: Vec<CaEvent> = Vec::new();
-        let mut prb_timeline: Vec<PrbInterval> = Vec::new();
-        let mut prb_accum: HashMap<u32, f64> = HashMap::new();
-        let mut prb_accum_start = 0u64;
-        let primary_cell = cfg.cellular.cells.first().map(|c| c.id).unwrap_or(CellId(0));
-        let foreground_ues: Vec<UeId> = cfg.ues.iter().map(|(u, _)| u.id).collect();
 
         let total_ms = cfg.duration.as_millis();
         for t_ms in 0..total_ms {
@@ -233,19 +277,28 @@ impl Simulation {
                     );
                     flow.rate_est.set_window(flow.srtt);
                     let delivery_rate = flow.rate_est.on_ack(now, ev.bytes);
+                    let ack = AckInfo {
+                        now,
+                        packet_id: ev.packet_id,
+                        bytes_acked: ev.bytes,
+                        rtt,
+                        one_way_delay_ms: ev.one_way_delay_ms,
+                        delivery_rate_bps: delivery_rate,
+                        inflight_bytes: flow.inflight_bytes,
+                        loss_detected: false,
+                        pbe: ev.pbe,
+                    };
                     if let Some(cc) = flow.cc.as_mut() {
-                        cc.on_ack(&AckInfo {
-                            now,
-                            packet_id: ev.packet_id,
-                            bytes_acked: ev.bytes,
-                            rtt,
-                            one_way_delay_ms: ev.one_way_delay_ms,
-                            delivery_rate_bps: delivery_rate,
-                            inflight_bytes: flow.inflight_bytes,
-                            loss_detected: false,
-                            pbe: ev.pbe,
-                        });
+                        cc.on_ack(&ack);
                     }
+                    emit(
+                        observers,
+                        &mut metrics,
+                        SimEvent::AckProcessed {
+                            flow: flow.config.id,
+                            ack: &ack,
+                        },
+                    );
                 }
             }
 
@@ -262,7 +315,9 @@ impl Simulation {
                 flow.allowance_bytes += budget_bps / 8.0 * 1e-3;
                 // Cap the carried-over allowance at one burst worth of data so
                 // an idle app cannot accumulate an unbounded token bucket.
-                flow.allowance_bytes = flow.allowance_bytes.min(budget_bps / 8.0 * 0.05 + 2.0 * MSS_BYTES as f64);
+                flow.allowance_bytes = flow
+                    .allowance_bytes
+                    .min(budget_bps / 8.0 * 0.05 + 2.0 * MSS_BYTES as f64);
                 while flow.allowance_bytes >= MSS_BYTES as f64 {
                     if gate_by_cwnd {
                         let cwnd = flow.cc.as_ref().map(|c| c.cwnd_bytes()).unwrap_or(u64::MAX);
@@ -293,7 +348,18 @@ impl Simulation {
                             pbe: None,
                             lost: true,
                         });
-                        flow.lost += 1;
+                        emit(
+                            observers,
+                            &mut metrics,
+                            SimEvent::PacketDelivered {
+                                flow: flow.config.id,
+                                at: now,
+                                bytes: MSS_BYTES,
+                                one_way: Duration::ZERO,
+                                delivered: false,
+                                wired_drop: true,
+                            },
+                        );
                     }
                 }
             }
@@ -307,75 +373,93 @@ impl Simulation {
 
             // 4. The radio access network advances one subframe.
             let report = net.tick(now);
-            ca_events.extend(report.ca_events.iter().copied());
-
-            // 5. Carrier events adjust the PBE receivers' decoder sets.
+            emit(
+                observers,
+                &mut metrics,
+                SimEvent::SubframeScheduled {
+                    now,
+                    report: &report,
+                },
+            );
             for event in &report.ca_events {
+                emit(
+                    observers,
+                    &mut metrics,
+                    SimEvent::CaTriggered { event: *event },
+                );
+            }
+
+            // 5. Carrier events reach the receiver agents of affected flows.
+            for event in &report.ca_events {
+                let total_prbs = cfg
+                    .cellular
+                    .cell(event.cell)
+                    .map(|c| c.total_prbs())
+                    .unwrap_or(50);
                 for flow in flows.iter_mut() {
-                    if flow.config.ue != event.ue {
-                        continue;
+                    if flow.config.ue == event.ue {
+                        flow.receiver.on_carrier_event(event, total_prbs);
                     }
-                    let Some(receiver) = flow.receiver.as_mut() else { continue };
-                    if event.activated {
-                        let total_prbs = cfg
-                            .cellular
-                            .cell(event.cell)
-                            .map(|c| c.total_prbs())
-                            .unwrap_or(50);
-                        receiver.decoders.entry(event.cell).or_insert_with(|| {
-                            ControlChannelDecoder::new(
-                                event.cell,
-                                DecoderConfig {
-                                    total_prbs,
-                                    ..DecoderConfig::default()
-                                },
-                                decoder_rng.split_indexed(
-                                    "cell",
-                                    u64::from(event.cell.0) << 16 | u64::from(flow.config.id),
-                                ),
-                            )
-                        });
-                        receiver.client.add_cell(event.cell, total_prbs);
-                    } else {
-                        receiver.decoders.remove(&event.cell);
-                        receiver.client.remove_cell(event.cell);
-                    }
-                    let cells: Vec<CellId> = receiver.decoders.keys().copied().collect();
-                    receiver.fusion.set_watched_cells(cells);
                 }
             }
 
-            // 6. PBE receivers decode this subframe's control channels.
+            // 6. Receiver agents observe this subframe's control channels.
             let subframe = now.subframe_index();
             for flow in flows.iter_mut() {
-                let Some(receiver) = flow.receiver.as_mut() else { continue };
-                let mut fused_ready = Vec::new();
-                for (cell, decoder) in receiver.decoders.iter_mut() {
-                    let decoded = decoder.decode_subframe(subframe, &report.dci_messages);
-                    fused_ready.extend(receiver.fusion.ingest(*cell, subframe, decoded));
-                }
-                for fused in fused_ready {
-                    receiver.client.on_subframe(&fused);
-                }
-                // Keep the client's averaging window matched to the flow RTT.
-                receiver.client.set_rtprop_ms(flow.srtt.as_millis_f64());
+                flow.receiver.on_subframe(subframe, &report.dci_messages);
+                // Keep receiver-side averaging windows matched to the flow RTT.
+                flow.receiver.set_rtprop_ms(flow.srtt.as_millis_f64());
             }
 
             // 7. Packet deliveries at the UEs generate acknowledgements.
             for d in &report.deliveries {
-                let Some(&owner) = packet_owner.get(&d.packet_id) else { continue };
+                let Some(&owner) = packet_owner.get(&d.packet_id) else {
+                    continue;
+                };
                 let flow = &mut flows[owner];
-                let Some(&(bytes, sent_at)) = flow.sent_packets.get(&d.packet_id) else { continue };
+                let Some(&(bytes, sent_at)) = flow.sent_packets.get(&d.packet_id) else {
+                    continue;
+                };
                 packet_owner.remove(&d.packet_id);
                 let one_way = d.at.saturating_since(sent_at);
                 let ack_at = d.at + flow.config.server_one_way_delay;
                 if d.delivered {
-                    flow.delivered += 1;
-                    flow.summary.record_packet(d.at, bytes, one_way);
-                    let pbe = flow
-                        .receiver
-                        .as_mut()
-                        .map(|r| r.client.on_packet(d.at, one_way.as_millis_f64()));
+                    let pbe = flow.receiver.on_packet(d.at, one_way.as_millis_f64());
+                    emit(
+                        observers,
+                        &mut metrics,
+                        SimEvent::PacketDelivered {
+                            flow: flow.config.id,
+                            at: d.at,
+                            bytes,
+                            one_way,
+                            delivered: true,
+                            wired_drop: false,
+                        },
+                    );
+                    if let Some(feedback) = pbe {
+                        emit(
+                            observers,
+                            &mut metrics,
+                            SimEvent::CapacityEstimated {
+                                flow: flow.config.id,
+                                at: d.at,
+                                feedback,
+                            },
+                        );
+                        if feedback.internet_bottleneck != flow.last_internet_flag {
+                            flow.last_internet_flag = feedback.internet_bottleneck;
+                            emit(
+                                observers,
+                                &mut metrics,
+                                SimEvent::StateChanged {
+                                    flow: flow.config.id,
+                                    at: d.at,
+                                    internet_bottleneck: feedback.internet_bottleneck,
+                                },
+                            );
+                        }
+                    }
                     flow.pending.push_back(PendingEvent {
                         arrive_at: ack_at,
                         packet_id: d.packet_id,
@@ -386,7 +470,18 @@ impl Simulation {
                         lost: false,
                     });
                 } else {
-                    flow.lost += 1;
+                    emit(
+                        observers,
+                        &mut metrics,
+                        SimEvent::PacketDelivered {
+                            flow: flow.config.id,
+                            at: d.at,
+                            bytes,
+                            one_way,
+                            delivered: false,
+                            wired_drop: false,
+                        },
+                    );
                     flow.pending.push_back(PendingEvent {
                         arrive_at: ack_at,
                         packet_id: d.packet_id,
@@ -398,60 +493,26 @@ impl Simulation {
                     });
                 }
             }
-
-            // 8. Primary-cell PRB accounting for the fairness timeline.
-            for cr in &report.cell_reports {
-                if cr.cell != primary_cell {
-                    continue;
-                }
-                for ue in &foreground_ues {
-                    let prbs = cr.prb_usage.allocated_to(*ue);
-                    if let Some(flow) = cfg.flows.iter().find(|f| f.ue == *ue) {
-                        *prb_accum.entry(flow.id).or_insert(0.0) += f64::from(prbs);
-                    }
-                }
-            }
-            if (t_ms + 1) % 100 == 0 {
-                let mut per_ue = HashMap::new();
-                for (flow_id, total) in prb_accum.drain() {
-                    per_ue.insert(flow_id, total / 100.0);
-                }
-                prb_timeline.push(PrbInterval {
-                    start_s: prb_accum_start as f64 / 1000.0,
-                    per_ue,
-                });
-                prb_accum_start = t_ms + 1;
-            }
-            let _ = MICROS_PER_MS; // keep the import meaningful for readers
         }
 
-        // Finalise per-flow results.
-        let results = flows
-            .iter_mut()
-            .map(|flow| {
-                if let Some(cc) = flow.cc.as_ref() {
-                    flow.summary
-                        .set_internet_bottleneck_fraction(cc.internet_bottleneck_fraction());
-                }
-                flow.summary
-                    .set_carrier_aggregation_triggered(net.carrier_aggregation_triggered(flow.config.ue));
-                let windows = flow.summary.windows().windows();
-                FlowResult {
-                    id: flow.config.id,
-                    scheme: flow.config.scheme.label().to_string(),
-                    summary: flow.summary.build(),
-                    throughput_timeline_mbps: windows.iter().map(|w| w.throughput_mbps).collect(),
-                    delay_timeline_ms: windows.iter().map(|w| w.mean_delay_ms).collect(),
-                    packets_lost: flow.lost,
-                    packets_delivered: flow.delivered,
-                }
-            })
-            .collect();
-        SimResult {
-            flows: results,
-            primary_prb_timeline: prb_timeline,
-            ca_events,
+        // Finalise per-flow results through the event stream.
+        for flow in flows.iter() {
+            emit(
+                observers,
+                &mut metrics,
+                SimEvent::FlowClosed {
+                    flow: flow.config.id,
+                    internet_bottleneck_fraction: flow
+                        .cc
+                        .as_ref()
+                        .map(|cc| cc.internet_bottleneck_fraction())
+                        .unwrap_or(0.0),
+                    carrier_aggregation_triggered: net
+                        .carrier_aggregation_triggered(flow.config.ue),
+                },
+            );
         }
+        metrics.finish()
     }
 }
 
@@ -484,16 +545,28 @@ mod tests {
 
     #[test]
     fn bbr_flow_works_end_to_end() {
-        let result = quick(SchemeChoice::Baseline(SchemeName::Bbr), 6, CellLoadProfile::none());
+        let result = quick(
+            SchemeChoice::Baseline(SchemeName::Bbr),
+            6,
+            CellLoadProfile::none(),
+        );
         let flow = &result.flows[0];
-        assert!(flow.summary.avg_throughput_mbps > 20.0, "BBR tput = {}", flow.summary.avg_throughput_mbps);
+        assert!(
+            flow.summary.avg_throughput_mbps > 20.0,
+            "BBR tput = {}",
+            flow.summary.avg_throughput_mbps
+        );
         assert!(flow.packets_delivered > 1000);
     }
 
     #[test]
     fn pbe_keeps_delay_lower_than_cubic_under_load() {
         let pbe = quick(SchemeChoice::Pbe, 6, CellLoadProfile::none());
-        let cubic = quick(SchemeChoice::Baseline(SchemeName::Cubic), 6, CellLoadProfile::none());
+        let cubic = quick(
+            SchemeChoice::Baseline(SchemeName::Cubic),
+            6,
+            CellLoadProfile::none(),
+        );
         let pbe_delay = pbe.flows[0].summary.p95_delay_ms;
         let cubic_delay = cubic.flows[0].summary.p95_delay_ms;
         assert!(
@@ -511,11 +584,19 @@ mod tests {
                 scheme: SchemeChoice::FixedRate,
                 ..FlowConfig::bulk(1, ue, SchemeChoice::FixedRate, Duration::from_secs(4))
             }],
-            ..SimConfig::single_flow(SchemeChoice::FixedRate, Duration::from_secs(4), CellLoadProfile::none(), 3)
+            ..SimConfig::single_flow(
+                SchemeChoice::FixedRate,
+                Duration::from_secs(4),
+                CellLoadProfile::none(),
+                3,
+            )
         };
         let result = Simulation::new(cfg).run();
         let tput = result.flows[0].summary.avg_throughput_mbps;
-        assert!((tput - 12.0).abs() < 2.0, "constant-rate flow delivers ~12 Mbit/s, got {tput}");
+        assert!(
+            (tput - 12.0).abs() < 2.0,
+            "constant-rate flow delivers ~12 Mbit/s, got {tput}"
+        );
     }
 
     #[test]
@@ -547,7 +628,10 @@ mod tests {
         let a = result.flows[0].summary.avg_throughput_mbps;
         let b = result.flows[1].summary.avg_throughput_mbps;
         let ratio = a / b;
-        assert!((0.7..1.4).contains(&ratio), "throughput ratio {ratio} ({a} vs {b})");
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "throughput ratio {ratio} ({a} vs {b})"
+        );
         assert!(!result.primary_prb_timeline.is_empty());
     }
 
@@ -560,5 +644,18 @@ mod tests {
             b.flows[0].summary.avg_throughput_mbps
         );
         assert_eq!(a.flows[0].packets_delivered, b.flows[0].packets_delivered);
+    }
+
+    #[test]
+    fn engine_contains_no_scheme_specific_branches() {
+        // The acceptance check of the API redesign: the engine resolves every
+        // scheme through the table, so a PBE flow and a BBR flow differ only
+        // in what the table hands back.
+        let pbe = quick(SchemeChoice::Pbe, 2, CellLoadProfile::none());
+        let named_pbe = quick(SchemeChoice::named("PBE"), 2, CellLoadProfile::none());
+        assert_eq!(
+            pbe.flows[0].packets_delivered, named_pbe.flows[0].packets_delivered,
+            "`Named(\"PBE\")` and the `Pbe` shim resolve to the same registry entry"
+        );
     }
 }

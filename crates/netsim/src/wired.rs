@@ -57,7 +57,11 @@ impl WiredPath {
     }
 
     /// A path with a wired bottleneck of the given rate and queue size.
-    pub fn with_bottleneck(propagation: Duration, bottleneck_bps: f64, queue_limit_bytes: u64) -> Self {
+    pub fn with_bottleneck(
+        propagation: Duration,
+        bottleneck_bps: f64,
+        queue_limit_bytes: u64,
+    ) -> Self {
         WiredPath {
             propagation,
             bottleneck_bps: Some(bottleneck_bps),

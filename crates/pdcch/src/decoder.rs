@@ -117,14 +117,21 @@ impl ControlChannelDecoder {
     /// `transmitted` is the set of DCI messages the cell actually put on the
     /// air this subframe (only those for this decoder's cell are considered).
     /// Returns the messages the monitor gets to see.
-    pub fn decode_subframe(&mut self, subframe: u64, transmitted: &[DciMessage]) -> Vec<DciMessage> {
+    pub fn decode_subframe(
+        &mut self,
+        subframe: u64,
+        transmitted: &[DciMessage],
+    ) -> Vec<DciMessage> {
         self.stats.subframes += 1;
         let mut decoded = Vec::new();
 
         // Real messages: re-encode into their on-air form, walk the search
         // space, and blind-decode each candidate.
         let mut candidate_index = 0u8;
-        for msg in transmitted.iter().filter(|m| m.cell == self.cell && m.subframe == subframe) {
+        for msg in transmitted
+            .iter()
+            .filter(|m| m.cell == self.cell && m.subframe == subframe)
+        {
             // Aggregation level depends on how robust the grant must be; the
             // scheduler uses larger levels for users in worse conditions.
             let aggregation_level = match msg.mcs.0 {
@@ -151,7 +158,9 @@ impl ControlChannelDecoder {
         }
 
         // Noise candidates: empty positions the decoder still has to examine.
-        let noise_positions = self.rng.poisson(self.config.noise_candidate_probability * 8.0);
+        let noise_positions = self
+            .rng
+            .poisson(self.config.noise_candidate_probability * 8.0);
         for i in 0..noise_positions {
             self.stats.candidates_examined += 1;
             // Build garbage bits and check them the same way; the CRC/RNTI

@@ -70,16 +70,24 @@ impl MessageFusion {
     /// Ingest the messages one cell's decoder produced for one subframe.
     /// Returns every subframe that is now complete (all watched cells have
     /// reported), in order.
-    pub fn ingest(&mut self, cell: CellId, subframe: u64, messages: Vec<DciMessage>) -> Vec<FusedSubframe> {
+    pub fn ingest(
+        &mut self,
+        cell: CellId,
+        subframe: u64,
+        messages: Vec<DciMessage>,
+    ) -> Vec<FusedSubframe> {
         if let Some(done) = self.emitted_up_to {
             if subframe <= done {
                 return Vec::new();
             }
         }
-        let entry = self.pending.entry(subframe).or_insert_with(|| FusedSubframe {
-            subframe,
-            per_cell: HashMap::new(),
-        });
+        let entry = self
+            .pending
+            .entry(subframe)
+            .or_insert_with(|| FusedSubframe {
+                subframe,
+                per_cell: HashMap::new(),
+            });
         if !messages.is_empty() {
             entry.per_cell.entry(cell).or_default().extend(messages);
         }
@@ -92,8 +100,7 @@ impl MessageFusion {
 
     fn drain_complete(&mut self) -> Vec<FusedSubframe> {
         let mut out = Vec::new();
-        loop {
-            let Some((&subframe, _)) = self.pending.iter().next() else { break };
+        while let Some((&subframe, _)) = self.pending.iter().next() {
             let complete = self
                 .reported
                 .get(&subframe)
@@ -152,7 +159,9 @@ mod tests {
     #[test]
     fn waits_for_all_watched_cells() {
         let mut fusion = MessageFusion::new(vec![CellId(0), CellId(1)]);
-        assert!(fusion.ingest(CellId(0), 7, vec![msg(0, 7, 0x100)]).is_empty());
+        assert!(fusion
+            .ingest(CellId(0), 7, vec![msg(0, 7, 0x100)])
+            .is_empty());
         assert_eq!(fusion.pending_count(), 1);
         let fused = fusion.ingest(CellId(1), 7, vec![msg(1, 7, 0x200)]);
         assert_eq!(fused.len(), 1);
@@ -173,8 +182,12 @@ mod tests {
     fn subframes_are_released_in_order() {
         let mut fusion = MessageFusion::new(vec![CellId(0), CellId(1)]);
         // Cell 1 runs ahead: reports subframes 1 and 2 before cell 0 reports 1.
-        assert!(fusion.ingest(CellId(1), 1, vec![msg(1, 1, 0x200)]).is_empty());
-        assert!(fusion.ingest(CellId(1), 2, vec![msg(1, 2, 0x200)]).is_empty());
+        assert!(fusion
+            .ingest(CellId(1), 1, vec![msg(1, 1, 0x200)])
+            .is_empty());
+        assert!(fusion
+            .ingest(CellId(1), 2, vec![msg(1, 2, 0x200)])
+            .is_empty());
         let fused = fusion.ingest(CellId(0), 1, vec![msg(0, 1, 0x100)]);
         assert_eq!(fused.len(), 1);
         assert_eq!(fused[0].subframe, 1);
@@ -188,8 +201,12 @@ mod tests {
         let mut fusion = MessageFusion::new(vec![CellId(0)]);
         assert_eq!(fusion.ingest(CellId(0), 5, vec![]).len(), 1);
         // A duplicate / late report for an already-emitted subframe is dropped.
-        assert!(fusion.ingest(CellId(0), 5, vec![msg(0, 5, 0x100)]).is_empty());
-        assert!(fusion.ingest(CellId(0), 4, vec![msg(0, 4, 0x100)]).is_empty());
+        assert!(fusion
+            .ingest(CellId(0), 5, vec![msg(0, 5, 0x100)])
+            .is_empty());
+        assert!(fusion
+            .ingest(CellId(0), 4, vec![msg(0, 4, 0x100)])
+            .is_empty());
     }
 
     #[test]

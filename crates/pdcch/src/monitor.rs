@@ -173,7 +173,8 @@ impl CellStatusMonitor {
     pub fn ingest(&mut self, fused: &FusedSubframe) {
         for (cell, tracker) in self.trackers.iter_mut() {
             let messages = fused.cell_messages(*cell);
-            let record = Self::build_record(&self.config, tracker.total_prbs, fused.subframe, messages);
+            let record =
+                Self::build_record(&self.config, tracker.total_prbs, fused.subframe, messages);
             if let Some(rate) = Self::record_bits_per_prb(&record) {
                 tracker.last_bits_per_prb = Some(rate);
             }
@@ -206,7 +207,9 @@ impl CellStatusMonitor {
             record.users.push((m.rnti, m.num_prbs));
             if m.rnti == config.own_rnti {
                 record.own_prbs += m.num_prbs;
-                record.own_grants.push((m.num_prbs, m.tbs_bits, !m.new_data_indicator));
+                record
+                    .own_grants
+                    .push((m.num_prbs, m.tbs_bits, !m.new_data_indicator));
             } else {
                 record.other_prbs += m.num_prbs;
             }
@@ -278,7 +281,11 @@ impl CellStatusMonitor {
             if *rnti == self.config.own_rnti {
                 continue;
             }
-            let pa = if *ta == 0 { 0.0 } else { *total_prbs as f64 / *ta as f64 };
+            let pa = if *ta == 0 {
+                0.0
+            } else {
+                *total_prbs as f64 / *ta as f64
+            };
             if *ta > self.config.ta_threshold && pa > self.config.pa_threshold {
                 active_users += 1;
             }
@@ -400,7 +407,11 @@ mod tests {
         assert_eq!(s.active_users, 1);
         // Its PRBs still reduce the idle count in the subframe it appeared.
         let expected_idle = (39.0 * 50.0 + 46.0) / 40.0;
-        assert!((s.idle_prbs - expected_idle).abs() < 1e-9, "idle = {}", s.idle_prbs);
+        assert!(
+            (s.idle_prbs - expected_idle).abs() < 1e-9,
+            "idle = {}",
+            s.idle_prbs
+        );
     }
 
     #[test]

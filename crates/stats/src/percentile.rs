@@ -50,7 +50,9 @@ pub fn percentiles(samples: &[f64], ps: &[f64]) -> Vec<Option<f64>> {
         return ps.iter().map(|_| None).collect();
     }
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-    ps.iter().map(|p| Some(percentile_of_sorted(&sorted, *p))).collect()
+    ps.iter()
+        .map(|p| Some(percentile_of_sorted(&sorted, *p)))
+        .collect()
 }
 
 /// Median of a sample set.
@@ -228,7 +230,9 @@ mod tests {
 
     #[test]
     fn merge_equals_combined_stream() {
-        let data: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let data: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let mut all = OnlineStats::new();
         for &x in &data {
             all.push(x);

@@ -7,22 +7,37 @@
 //! components are added or reordered — the property the experiment harness
 //! relies on for run-to-run comparability across congestion-control schemes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic random number generator with named sub-streams.
+///
+/// The core generator is xoshiro256++ seeded through SplitMix64 — the same
+/// construction `rand`'s small RNGs use — implemented locally so the
+/// workspace has no external RNG dependency.
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create a generator from an experiment seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         DetRng {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -56,9 +71,9 @@ impl DetRng {
         DetRng::new(h)
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 random mantissa bits).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -72,7 +87,11 @@ impl DetRng {
         if hi <= lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let span = (hi - lo) as u64;
+        // Multiply-shift range reduction (Lemire); the bias for the spans the
+        // simulator uses (≪ 2^32) is far below statistical relevance.
+        let r = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        lo + r as usize
     }
 
     /// Bernoulli trial with probability `p` of returning `true`.
@@ -157,7 +176,17 @@ impl DetRng {
 
     /// Raw 64-bit value (for hashing / shuffling needs of callers).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // xoshiro256++ step.
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Fisher–Yates shuffle of a slice.

@@ -140,7 +140,11 @@ impl FlowSummary {
     pub fn one_line(&self) -> String {
         format!(
             "{:<10} tput {:6.2} Mbit/s  delay avg {:6.1} ms  p95 {:6.1} ms  pkts {:7}",
-            self.label, self.avg_throughput_mbps, self.avg_delay_ms, self.p95_delay_ms, self.packets
+            self.label,
+            self.avg_throughput_mbps,
+            self.avg_delay_ms,
+            self.p95_delay_ms,
+            self.packets
         )
     }
 
@@ -175,7 +179,12 @@ impl FlowSummary {
 mod tests {
     use super::*;
 
-    fn build_flow(label: &str, rate_pkts_per_ms: u64, delay_ms: f64, duration_ms: u64) -> FlowSummary {
+    fn build_flow(
+        label: &str,
+        rate_pkts_per_ms: u64,
+        delay_ms: f64,
+        duration_ms: u64,
+    ) -> FlowSummary {
         let mut b = FlowSummaryBuilder::new(label);
         for ms in 1..=duration_ms {
             for _ in 0..rate_pkts_per_ms {
@@ -193,7 +202,11 @@ mod tests {
     fn summary_reports_throughput_and_delay() {
         // 1 packet of 1500 B per ms = 12 Mbit/s.
         let s = build_flow("test", 1, 50.0, 2000);
-        assert!((s.avg_throughput_mbps - 12.0).abs() < 0.5, "{}", s.avg_throughput_mbps);
+        assert!(
+            (s.avg_throughput_mbps - 12.0).abs() < 0.5,
+            "{}",
+            s.avg_throughput_mbps
+        );
         assert!((s.avg_delay_ms - 50.0).abs() < 1e-9);
         assert!((s.p95_delay_ms - 50.0).abs() < 1e-9);
         assert_eq!(s.packets, 2000);

@@ -16,11 +16,15 @@ pub const MICROS_PER_MS: u64 = 1_000;
 pub const MICROS_PER_SEC: u64 = 1_000_000;
 
 /// A point in simulated time, in microseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Instant(pub u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(pub u64);
 
 impl Instant {
@@ -246,7 +250,10 @@ mod tests {
         let a = Duration::from_millis(5);
         let b = Duration::from_millis(9);
         assert_eq!(a - b, Duration::ZERO);
-        assert_eq!(Instant::from_millis(1) - Duration::from_millis(2), Instant::ZERO);
+        assert_eq!(
+            Instant::from_millis(1) - Duration::from_millis(2),
+            Instant::ZERO
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ fn main() {
 
     // The measurement module: one blind decoder for the primary cell, the
     // fusion stage, and the PBE client that applies Eqns. 1-5.
-    let mut decoder = ControlChannelDecoder::new(CellId(0), DecoderConfig::default(), DetRng::new(1));
+    let mut decoder =
+        ControlChannelDecoder::new(CellId(0), DecoderConfig::default(), DetRng::new(1));
     let mut fusion = MessageFusion::new(vec![CellId(0)]);
     let mut client = PbeClient::new(PbeClientConfig::new(rnti, vec![(CellId(0), 100)]));
 

@@ -3,49 +3,88 @@
 //! miniature.  Prints per-second throughput of each flow and the primary
 //! cell's PRB split.
 //!
+//! Built on `SimBuilder`; the per-second capacity-estimate column is tapped
+//! live from the `CapacityEstimated` observer events — telemetry the old
+//! `SimConfig`-only API could not expose without simulator changes.
+//!
 //! ```sh
-//! cargo run --release -p pbe-bench --example competing_flows
+//! cargo run --release --example competing_flows
 //! ```
 
 use pbe_cc_algorithms::api::SchemeName;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimConfig, Simulation};
+use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimBuilder, SimEvent};
 use pbe_stats::jain::jain_index;
 use pbe_stats::time::{Duration, Instant};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn main() {
     let duration = Duration::from_secs(12);
+    let seconds = duration.as_micros() / 1_000_000;
     let pbe_ue = UeId(1);
     let bbr_ue = UeId(2);
     let burst_ue = UeId(3);
     let stationary = |rssi: f64| MobilityTrace::stationary(rssi);
-    let config = SimConfig {
-        cellular: CellularConfig::default(),
-        load: CellLoadProfile::idle(),
-        seed: 3,
-        duration,
-        ues: vec![
-            (UeConfig::new(pbe_ue, vec![CellId(0)], 1, -87.0), stationary(-87.0)),
-            (UeConfig::new(bbr_ue, vec![CellId(0)], 1, -87.0), stationary(-87.0)),
-            (UeConfig::new(burst_ue, vec![CellId(0)], 1, -87.0), stationary(-87.0)),
-        ],
-        flows: vec![
-            FlowConfig::bulk(1, pbe_ue, SchemeChoice::Pbe, duration),
-            FlowConfig::bulk(2, bbr_ue, SchemeChoice::Baseline(SchemeName::Bbr), duration),
-            // A 40 Mbit/s burst between t = 4 s and t = 8 s.
+
+    // Per-second average of the PBE client's capacity feedback, collected
+    // from the observer event stream.
+    let estimates: Rc<RefCell<Vec<(f64, u64)>>> =
+        Rc::new(RefCell::new(vec![(0.0, 0); seconds as usize]));
+    let sink = estimates.clone();
+
+    let result = SimBuilder::new()
+        .cell_profile(CellularConfig::default(), CellLoadProfile::idle())
+        .seed(3)
+        .duration(duration)
+        .ue(
+            UeConfig::new(pbe_ue, vec![CellId(0)], 1, -87.0),
+            stationary(-87.0),
+        )
+        .ue(
+            UeConfig::new(bbr_ue, vec![CellId(0)], 1, -87.0),
+            stationary(-87.0),
+        )
+        .ue(
+            UeConfig::new(burst_ue, vec![CellId(0)], 1, -87.0),
+            stationary(-87.0),
+        )
+        .flow(FlowConfig::bulk(1, pbe_ue, SchemeChoice::Pbe, duration))
+        .flow(FlowConfig::bulk(
+            2,
+            bbr_ue,
+            SchemeChoice::Baseline(SchemeName::Bbr),
+            duration,
+        ))
+        // A 40 Mbit/s burst between t = 4 s and t = 8 s.
+        .flow(
             FlowConfig {
                 app: AppModel::ConstantRate(40e6),
                 ..FlowConfig::bulk(3, burst_ue, SchemeChoice::FixedRate, duration)
             }
             .with_lifetime(Instant::from_secs(4), Instant::from_secs(8)),
-        ],
-    };
-    let result = Simulation::new(config).run();
+        )
+        .observe(move |event: &SimEvent<'_>| {
+            if let SimEvent::CapacityEstimated {
+                flow: 1,
+                at,
+                feedback,
+            } = event
+            {
+                let mut est = sink.borrow_mut();
+                let second = (at.as_millis() / 1000) as usize;
+                if let Some(slot) = est.get_mut(second) {
+                    slot.0 += feedback.capacity_bps();
+                    slot.1 += 1;
+                }
+            }
+        })
+        .run();
 
-    println!("t (s)  PBE Mbit/s  BBR Mbit/s  burst Mbit/s   PRBs: PBE/BBR/burst");
-    for second in 0..duration.as_micros() / 1_000_000 {
+    println!("t (s)  PBE Mbit/s  BBR Mbit/s  burst Mbit/s  PBE est. Mbit/s   PRBs: PBE/BBR/burst");
+    for second in 0..seconds {
         let lo = (second * 10) as usize;
         let hi = lo + 10;
         let avg = |flow: usize| {
@@ -67,11 +106,20 @@ fn main() {
                     / 10.0
             })
             .collect();
+        let est = {
+            let (sum, n) = estimates.borrow()[second as usize];
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64 / 1e6
+            }
+        };
         println!(
-            "{second:>5}  {:>10.1}  {:>10.1}  {:>12.1}   {:>5.0} / {:>3.0} / {:>3.0}",
+            "{second:>5}  {:>10.1}  {:>10.1}  {:>12.1}  {:>15.1}   {:>5.0} / {:>3.0} / {:>3.0}",
             avg(0),
             avg(1),
             avg(2),
+            est,
             prbs[0],
             prbs[1],
             prbs[2]

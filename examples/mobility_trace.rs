@@ -38,7 +38,11 @@ fn main() {
             break;
         }
         let tput = flow.throughput_timeline_mbps[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
-        let delays: Vec<f64> = flow.delay_timeline_ms[lo..hi].iter().flatten().copied().collect();
+        let delays: Vec<f64> = flow.delay_timeline_ms[lo..hi]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         let delay = if delays.is_empty() {
             f64::NAN
         } else {
@@ -54,5 +58,7 @@ fn main() {
         flow.summary.carrier_aggregation_triggered
     );
     println!("The send rate should dip as the device walks toward -105 dBm (13-26 s) and recover");
-    println!("quickly on the walk back, without the delay spike BBR exhibits in the paper's Fig. 17.");
+    println!(
+        "quickly on the walk back, without the delay spike BBR exhibits in the paper's Fig. 17."
+    );
 }

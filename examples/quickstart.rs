@@ -2,12 +2,14 @@
 //! its throughput/delay summary next to BBR on the same link.
 //!
 //! ```sh
-//! cargo run --release -p pbe-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use pbe_cc_algorithms::api::SchemeName;
+use pbe_cellular::channel::MobilityTrace;
+use pbe_cellular::config::{CellId, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{SchemeChoice, SimConfig, Simulation};
+use pbe_netsim::{FlowConfig, SchemeChoice, SimBuilder};
 use pbe_stats::time::Duration;
 
 fn main() {
@@ -18,12 +20,22 @@ fn main() {
         (SchemeChoice::Baseline(SchemeName::Bbr), "BBR"),
         (SchemeChoice::Baseline(SchemeName::Cubic), "CUBIC"),
     ] {
-        // `SimConfig::single_flow` wires up the whole stack: the wired path,
-        // the eNodeB scheduler with carrier aggregation, HARQ and the
-        // reordering buffer, and (for PBE-CC) the control-channel decoders,
-        // message fusion and the PBE client at the receiver.
-        let config = SimConfig::single_flow(scheme, duration, CellLoadProfile::idle(), 42);
-        let result = Simulation::new(config).run();
+        // `SimBuilder` wires up the whole stack: the wired path, the eNodeB
+        // scheduler with carrier aggregation, HARQ and the reordering
+        // buffer.  The scheme string resolves through the open registry, and
+        // for PBE-CC the registered receiver agent (control-channel
+        // decoders, message fusion, the PBE client) plugs in automatically.
+        let ue = UeId(1);
+        let result = SimBuilder::new()
+            .seed(42)
+            .duration(duration)
+            .cell_profile(Default::default(), CellLoadProfile::idle())
+            .ue(
+                UeConfig::new(ue, vec![CellId(0), CellId(1), CellId(2)], 3, -85.0),
+                MobilityTrace::stationary(-85.0),
+            )
+            .flow(FlowConfig::bulk(1, ue, scheme, duration))
+            .run();
         let flow = &result.flows[0];
         println!(
             "{label:>7}: {:6.1} Mbit/s average throughput, {:5.1} ms average one-way delay, {:5.1} ms p95, {} packets ({} lost), CA triggered: {}",
@@ -35,6 +47,8 @@ fn main() {
             flow.summary.carrier_aggregation_triggered,
         );
     }
-    println!("\nPBE-CC should match (or beat) BBR's throughput at a fraction of its delay, and CUBIC");
+    println!(
+        "\nPBE-CC should match (or beat) BBR's throughput at a fraction of its delay, and CUBIC"
+    );
     println!("should show the classic bufferbloat pattern: similar throughput, much higher delay.");
 }

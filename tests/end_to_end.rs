@@ -9,8 +9,19 @@ use pbe_netsim::{FlowConfig, SchemeChoice, SimConfig, Simulation};
 use pbe_stats::jain::jain_index;
 use pbe_stats::time::Duration;
 
-fn single(scheme: SchemeChoice, seconds: u64, load: CellLoadProfile, seed: u64) -> pbe_netsim::SimResult {
-    Simulation::new(SimConfig::single_flow(scheme, Duration::from_secs(seconds), load, seed)).run()
+fn single(
+    scheme: SchemeChoice,
+    seconds: u64,
+    load: CellLoadProfile,
+    seed: u64,
+) -> pbe_netsim::SimResult {
+    Simulation::new(SimConfig::single_flow(
+        scheme,
+        Duration::from_secs(seconds),
+        load,
+        seed,
+    ))
+    .run()
 }
 
 #[test]
@@ -18,7 +29,12 @@ fn pbe_matches_bbr_throughput_with_lower_tail_delay_on_idle_link() {
     // The paper's headline (Table 1): comparable throughput, much lower
     // 95th-percentile delay.
     let pbe = single(SchemeChoice::Pbe, 8, CellLoadProfile::none(), 101);
-    let bbr = single(SchemeChoice::Baseline(SchemeName::Bbr), 8, CellLoadProfile::none(), 101);
+    let bbr = single(
+        SchemeChoice::Baseline(SchemeName::Bbr),
+        8,
+        CellLoadProfile::none(),
+        101,
+    );
     let pbe_s = &pbe.flows[0].summary;
     let bbr_s = &bbr.flows[0].summary;
     assert!(
@@ -39,8 +55,18 @@ fn pbe_matches_bbr_throughput_with_lower_tail_delay_on_idle_link() {
 fn conservative_schemes_underutilise_the_wireless_link() {
     // Fig. 13/15: Copa and Sprout offer far less load than PBE-CC.
     let pbe = single(SchemeChoice::Pbe, 6, CellLoadProfile::none(), 102);
-    let copa = single(SchemeChoice::Baseline(SchemeName::Copa), 6, CellLoadProfile::none(), 102);
-    let sprout = single(SchemeChoice::Baseline(SchemeName::Sprout), 6, CellLoadProfile::none(), 102);
+    let copa = single(
+        SchemeChoice::Baseline(SchemeName::Copa),
+        6,
+        CellLoadProfile::none(),
+        102,
+    );
+    let sprout = single(
+        SchemeChoice::Baseline(SchemeName::Sprout),
+        6,
+        CellLoadProfile::none(),
+        102,
+    );
     let pbe_tput = pbe.flows[0].summary.avg_throughput_mbps;
     let copa_tput = copa.flows[0].summary.avg_throughput_mbps;
     let sprout_tput = sprout.flows[0].summary.avg_throughput_mbps;
@@ -59,7 +85,12 @@ fn conservative_schemes_underutilise_the_wireless_link() {
 #[test]
 fn high_offered_load_triggers_carrier_aggregation_and_sprout_does_not() {
     let pbe = single(SchemeChoice::Pbe, 8, CellLoadProfile::none(), 103);
-    let sprout = single(SchemeChoice::Baseline(SchemeName::Sprout), 8, CellLoadProfile::none(), 103);
+    let sprout = single(
+        SchemeChoice::Baseline(SchemeName::Sprout),
+        8,
+        CellLoadProfile::none(),
+        103,
+    );
     assert!(
         pbe.flows[0].summary.carrier_aggregation_triggered,
         "PBE-CC's offered load activates a secondary cell"
@@ -85,10 +116,8 @@ fn pbe_detects_an_internet_bottleneck_and_bounds_its_delay() {
             UeConfig::new(ue, vec![CellId(0)], 1, -85.0),
             MobilityTrace::stationary(-85.0),
         )],
-        flows: vec![
-            FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)
-                .with_wired_bottleneck(15e6, 150_000),
-        ],
+        flows: vec![FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)
+            .with_wired_bottleneck(15e6, 150_000)],
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
@@ -120,8 +149,14 @@ fn two_pbe_flows_with_different_rtts_share_prbs_fairly() {
         seed: 105,
         duration,
         ues: vec![
-            (UeConfig::new(ue_a, vec![CellId(0)], 1, -86.0), MobilityTrace::stationary(-86.0)),
-            (UeConfig::new(ue_b, vec![CellId(0)], 1, -86.0), MobilityTrace::stationary(-86.0)),
+            (
+                UeConfig::new(ue_a, vec![CellId(0)], 1, -86.0),
+                MobilityTrace::stationary(-86.0),
+            ),
+            (
+                UeConfig::new(ue_b, vec![CellId(0)], 1, -86.0),
+                MobilityTrace::stationary(-86.0),
+            ),
         ],
         flows: vec![
             FlowConfig::bulk(1, ue_a, SchemeChoice::Pbe, duration)
@@ -134,12 +169,15 @@ fn two_pbe_flows_with_different_rtts_share_prbs_fairly() {
     // Jain's index over the primary-cell PRBs in the second half of the run
     // (both flows past their startup ramps).
     let halfway = result.primary_prb_timeline.len() / 2;
-    let totals: Vec<f64> = [1u32, 2].iter().map(|id| {
-        result.primary_prb_timeline[halfway..]
-            .iter()
-            .map(|iv| iv.per_ue.get(id).copied().unwrap_or(0.0))
-            .sum()
-    }).collect();
+    let totals: Vec<f64> = [1u32, 2]
+        .iter()
+        .map(|id| {
+            result.primary_prb_timeline[halfway..]
+                .iter()
+                .map(|iv| iv.per_ue.get(id).copied().unwrap_or(0.0))
+                .sum()
+        })
+        .collect();
     let jain = jain_index(&totals);
     assert!(jain > 0.85, "Jain index {jain} (allocations {totals:?})");
 }

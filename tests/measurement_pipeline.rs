@@ -37,14 +37,12 @@ fn monitor_tracks_ground_truth_prb_usage() {
     let mut fusion = MessageFusion::new(vec![CellId(0)]);
 
     let mut true_own_prbs = 0.0;
-    let mut packet_id = 0;
     let window = 40u64;
     let total = 2_000u64;
-    for ms in 0..total {
+    for (packet_id, ms) in (0..total).enumerate() {
         let now = Instant::from_millis(ms);
         // Keep the UE modestly loaded.
-        net.enqueue_packet(ue, packet_id, 1500, now);
-        packet_id += 1;
+        net.enqueue_packet(ue, packet_id as u64, 1500, now);
         let report = net.tick(now);
         if ms >= total - window {
             for cr in &report.cell_reports {
@@ -79,7 +77,8 @@ fn capacity_estimate_is_bounded_by_cell_capacity() {
         MobilityTrace::stationary(-85.0),
     );
     let mut client = PbeClient::new(PbeClientConfig::new(rnti, vec![(CellId(0), 100)]));
-    let mut decoder = ControlChannelDecoder::new(CellId(0), DecoderConfig::default(), DetRng::new(9));
+    let mut decoder =
+        ControlChannelDecoder::new(CellId(0), DecoderConfig::default(), DetRng::new(9));
     let mut fusion = MessageFusion::new(vec![CellId(0)]);
     let estimator = CapacityEstimator::new();
 
@@ -150,5 +149,9 @@ fn capacity_estimate_is_robust_to_decoder_misses() {
     let perfect = run(0.0);
     let lossy = run(0.02);
     let diff = (perfect - lossy).abs() / perfect;
-    assert!(diff < 0.15, "2% decoder misses changed the estimate by {:.1}%", diff * 100.0);
+    assert!(
+        diff < 0.15,
+        "2% decoder misses changed the estimate by {:.1}%",
+        diff * 100.0
+    );
 }

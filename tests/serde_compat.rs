@@ -1,0 +1,124 @@
+//! Serde compatibility: configuration JSON written before the scheme-registry
+//! redesign still deserializes.
+//!
+//! The redesign replaced the closed `SchemeName`/`SchemeChoice` resolution
+//! path with the open registry, keeping the enums as serde shims.  These
+//! tests pin the wire format: hand-written JSON in the exact pre-redesign
+//! shape (externally tagged enums, newtype ids as bare numbers) must load
+//! into today's types, and today's types must round-trip.
+
+use pbe_cc_algorithms::api::SchemeName;
+use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimConfig, Simulation};
+use pbe_stats::time::{Duration, Instant};
+
+/// A `FlowConfig` captured from the pre-redesign serializer (scheme as the
+/// externally tagged `{"Baseline": "Bbr"}` form, `u64::MAX` queue limit).
+const PRE_REDESIGN_BASELINE_FLOW: &str = r#"{
+    "id": 2,
+    "ue": 7,
+    "scheme": {"Baseline": "Bbr"},
+    "app": "Bulk",
+    "start": 0,
+    "stop": 20000000,
+    "server_one_way_delay": 20000,
+    "wired_bottleneck_bps": null,
+    "wired_queue_bytes": 18446744073709551615
+}"#;
+
+/// Pre-redesign unit-variant schemes serialized as bare strings.
+const PRE_REDESIGN_PBE_FLOW: &str = r#"{
+    "id": 1,
+    "ue": 1,
+    "scheme": "Pbe",
+    "app": {"ConstantRate": 12000000.0},
+    "start": 4000000,
+    "stop": 8000000,
+    "server_one_way_delay": 148000,
+    "wired_bottleneck_bps": 24000000.0,
+    "wired_queue_bytes": 250000
+}"#;
+
+#[test]
+fn pre_redesign_baseline_flow_json_deserializes() {
+    let flow: FlowConfig = serde_json::from_str(PRE_REDESIGN_BASELINE_FLOW).expect("parses");
+    assert_eq!(flow.id, 2);
+    assert_eq!(flow.ue.0, 7);
+    assert_eq!(flow.scheme, SchemeChoice::Baseline(SchemeName::Bbr));
+    assert_eq!(flow.scheme.id().as_str(), "BBR");
+    assert_eq!(flow.app, AppModel::Bulk);
+    assert_eq!(flow.stop, Instant::from_secs(20));
+    assert_eq!(flow.wired_bottleneck_bps, None);
+    assert_eq!(flow.wired_queue_bytes, u64::MAX);
+}
+
+#[test]
+fn pre_redesign_pbe_flow_json_deserializes() {
+    let flow: FlowConfig = serde_json::from_str(PRE_REDESIGN_PBE_FLOW).expect("parses");
+    assert_eq!(flow.scheme, SchemeChoice::Pbe);
+    assert_eq!(flow.app, AppModel::ConstantRate(12e6));
+    assert_eq!(flow.start, Instant::from_secs(4));
+    assert_eq!(flow.server_one_way_delay, Duration::from_millis(148));
+    assert_eq!(flow.wired_bottleneck_bps, Some(24e6));
+}
+
+#[test]
+fn scheme_choice_wire_format_is_stable() {
+    // The shims keep their pre-redesign encodings...
+    assert_eq!(
+        serde_json::to_string(&SchemeChoice::Pbe).unwrap(),
+        "\"Pbe\""
+    );
+    assert_eq!(
+        serde_json::to_string(&SchemeChoice::Baseline(SchemeName::Cubic)).unwrap(),
+        "{\"Baseline\":\"Cubic\"}"
+    );
+    assert_eq!(
+        serde_json::to_string(&SchemeChoice::FixedRate).unwrap(),
+        "\"FixedRate\""
+    );
+    // ...and the new open variant has its own tag, so old readers fail
+    // loudly rather than misparse.
+    assert_eq!(
+        serde_json::to_string(&SchemeChoice::named("TOY")).unwrap(),
+        "{\"Named\":\"TOY\"}"
+    );
+    let back: SchemeChoice = serde_json::from_str("{\"Named\":\"TOY\"}").unwrap();
+    assert_eq!(back, SchemeChoice::named("TOY"));
+}
+
+#[test]
+fn flow_config_roundtrips_through_json() {
+    let flow = FlowConfig::bulk(
+        3,
+        pbe_cellular::config::UeId(9),
+        SchemeChoice::Baseline(SchemeName::Sprout),
+        Duration::from_secs(6),
+    )
+    .with_wired_bottleneck(15e6, 150_000)
+    .with_one_way_delay(Duration::from_millis(26));
+    let json = serde_json::to_string(&flow).expect("serializes");
+    let back: FlowConfig = serde_json::from_str(&json).expect("parses");
+    assert_eq!(serde_json::to_string(&back).unwrap(), json);
+}
+
+#[test]
+fn sim_config_roundtrips_and_runs_identically() {
+    let config = SimConfig::single_flow(
+        SchemeChoice::Pbe,
+        Duration::from_secs(2),
+        pbe_cellular::traffic::CellLoadProfile::idle(),
+        77,
+    );
+    let json = serde_json::to_string(&config).expect("serializes");
+    let parsed: SimConfig = serde_json::from_str(&json).expect("parses");
+    assert_eq!(serde_json::to_string(&parsed).unwrap(), json);
+
+    // The deserialized scenario is not just structurally equal — it drives
+    // the deterministic engine to the same result.
+    let a = Simulation::new(config).run();
+    let b = Simulation::new(parsed).run();
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
