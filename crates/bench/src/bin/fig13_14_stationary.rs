@@ -2,10 +2,13 @@
 //! eight congestion-control schemes at six representative locations
 //! (indoor 1/2/3 aggregated cells busy, indoor 3-cell idle, outdoor 2-cell
 //! busy, outdoor 2-cell idle).
+//!
+//! The 6 × 8 grid runs through the parallel sweep harness: each location is a
+//! [`ScenarioSpec`] template crossed with the paper's scheme axis.
 
 use pbe_bench::scenarios::paper_schemes;
+use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
 use pbe_bench::{Location, LocationKind, TextTable};
-use pbe_netsim::Simulation;
 use pbe_stats::time::Duration;
 
 fn representative_locations() -> Vec<(&'static str, Location)> {
@@ -44,44 +47,60 @@ fn representative_locations() -> Vec<(&'static str, Location)> {
     ]
 }
 
-fn main() {
-    let seconds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
-    println!("Figures 13/14 reproduction: 6 representative locations × 8 schemes × {seconds} s\n");
-    for (label, loc) in representative_locations() {
-        println!("=== {label} (RSSI {} dBm) ===\n", loc.rssi_dbm);
-        let mut table = TextTable::new(&[
-            "scheme",
-            "tput p25",
-            "tput p50",
-            "tput p75",
-            "delay p25 (ms)",
-            "delay p50",
-            "delay p75",
-            "delay p95",
-        ]);
-        for (scheme, name) in paper_schemes() {
-            let result =
-                Simulation::new(loc.sim_config(scheme, Duration::from_secs(seconds))).run();
-            let s = &result.flows[0].summary;
-            table.row(&[
-                name.to_string(),
-                format!("{:.1}", s.throughput_percentiles_mbps[1]),
-                format!("{:.1}", s.throughput_percentiles_mbps[2]),
-                format!("{:.1}", s.throughput_percentiles_mbps[3]),
-                format!("{:.0}", s.delay_percentiles_ms[1]),
-                format!("{:.0}", s.delay_percentiles_ms[2]),
-                format!("{:.0}", s.delay_percentiles_ms[3]),
-                format!("{:.0}", s.p95_delay_ms),
+fn main() -> std::io::Result<()> {
+    let args = SweepArgs::parse();
+    let seconds = args.seconds_or(8);
+    let duration = Duration::from_secs(seconds);
+    let writer = args.writer()?;
+    writer.note(&format!(
+        "Figures 13/14 reproduction: 6 representative locations × 8 schemes × {seconds} s\n"
+    ));
+
+    let scenarios: Vec<ScenarioSpec> = representative_locations()
+        .iter()
+        .map(|(label, loc)| ScenarioSpec::from_location(*label, loc, duration))
+        .collect();
+    let grid = SweepGrid::over(scenarios).schemes(paper_schemes().into_iter().map(|(s, _)| s));
+    let report = args.runner().run(grid.expand());
+
+    if writer.wants_json() {
+        writer.sweep_json("fig13_14_stationary", &report)?;
+    } else {
+        for (i, label) in report.labels().iter().enumerate() {
+            let mut table = TextTable::new(&[
+                "scheme",
+                "tput p25",
+                "tput p50",
+                "tput p75",
+                "delay p25 (ms)",
+                "delay p50",
+                "delay p75",
+                "delay p95",
             ]);
+            let mut rssi = 0.0;
+            for outcome in report.by_label(label) {
+                rssi = outcome.spec.ues[0].0.rssi_dbm;
+                let s = &outcome.result.flows[0].summary;
+                table.row(&[
+                    outcome.spec.scheme.to_string(),
+                    format!("{:.1}", s.throughput_percentiles_mbps[1]),
+                    format!("{:.1}", s.throughput_percentiles_mbps[2]),
+                    format!("{:.1}", s.throughput_percentiles_mbps[3]),
+                    format!("{:.0}", s.delay_percentiles_ms[1]),
+                    format!("{:.0}", s.delay_percentiles_ms[2]),
+                    format!("{:.0}", s.delay_percentiles_ms[3]),
+                    format!("{:.0}", s.p95_delay_ms),
+                ]);
+            }
+            let name = format!("fig13_14_location_{i}");
+            writer.table(&name, &format!("{label} (RSSI {rssi} dBm)"), &table)?;
         }
-        println!("{}", table.render());
     }
-    println!(
-        "Paper reference: PBE-CC and BBR have comparable (highest) throughput, with PBE-CC at"
+    writer.timing(&report);
+    writer.note(
+        "\nPaper reference: PBE-CC and BBR have comparable (highest) throughput, with PBE-CC at",
     );
-    println!("markedly lower delay; Verus high throughput but excessive delay; CUBIC erratic;");
-    println!("Copa/PCC/Vivace/Sprout low throughput with low delay.");
+    writer.note("markedly lower delay; Verus high throughput but excessive delay; CUBIC erratic;");
+    writer.note("Copa/PCC/Vivace/Sprout low throughput with low delay.");
+    Ok(())
 }

@@ -2,68 +2,74 @@
 //! −85 dBm, walks to −105 dBm over 13 s, returns in 4 s and stays put —
 //! Fig. 16 compares all eight schemes' throughput/delay, Fig. 17 shows the
 //! PBE-CC and BBR timelines in 2-second intervals.
+//!
+//! The eight schemes run as one parallel sweep over a single mobility-trace
+//! [`ScenarioSpec`]; Fig. 17 reads the PBE and BBR timelines back out of the
+//! same [`SweepReport`](pbe_bench::SweepReport).
 
 use pbe_bench::scenarios::paper_schemes;
+use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
 use pbe_bench::TextTable;
-use pbe_cc_algorithms::api::SchemeName;
 use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
+use pbe_cellular::config::{CellId, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation};
+use pbe_netsim::{FlowConfig, SchemeChoice, SimResult};
 use pbe_stats::percentile::median;
 use pbe_stats::time::Duration;
 
-fn run(scheme: SchemeChoice, seconds: u64) -> SimResult {
+const LABEL: &str = "Fig16 mobility walk";
+
+fn mobility_scenario(seconds: u64) -> ScenarioSpec {
     let ue = UeId(1);
     let duration = Duration::from_secs(seconds);
-    let cfg = SimConfig {
-        cellular: CellularConfig::default(),
-        load: CellLoadProfile::idle(),
-        seed: 16,
-        duration,
-        ues: vec![(
+    ScenarioSpec::new(LABEL, SchemeChoice::Pbe, duration)
+        .load(CellLoadProfile::idle())
+        .seed(16)
+        .ue(
             UeConfig::new(ue, vec![CellId(0), CellId(1), CellId(2)], 2, -85.0),
             MobilityTrace::paper_mobility_walk(),
-        )],
-        flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
-    };
-    Simulation::new(cfg).run()
+        )
+        .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration))
 }
 
-fn main() {
-    let seconds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
-    println!("Figure 16 reproduction: mobility walk -85 -> -105 -> -85 dBm over {seconds} s\n");
+fn main() -> std::io::Result<()> {
+    let args = SweepArgs::parse();
+    let seconds = args.seconds_or(40);
+    let writer = args.writer()?;
+    writer.note(&format!(
+        "Figure 16 reproduction: mobility walk -85 -> -105 -> -85 dBm over {seconds} s\n"
+    ));
+
+    let grid = SweepGrid::over(vec![mobility_scenario(seconds)])
+        .schemes(paper_schemes().into_iter().map(|(s, _)| s));
+    let report = args.runner().run(grid.expand());
+
+    if writer.wants_json() {
+        writer.sweep_json("fig16_17_mobility", &report)?;
+        writer.timing(&report);
+        return Ok(());
+    }
+
     let mut table = TextTable::new(&[
         "scheme",
         "avg tput (Mbit/s)",
         "median delay (ms)",
         "p95 delay (ms)",
     ]);
-    let mut pbe_result = None;
-    let mut bbr_result = None;
-    for (scheme, name) in paper_schemes() {
-        let result = run(scheme.clone(), seconds);
-        let s = &result.flows[0].summary;
+    for outcome in report.by_label(LABEL) {
+        let s = &outcome.result.flows[0].summary;
         table.row(&[
-            name.to_string(),
+            outcome.spec.scheme.to_string(),
             format!("{:.1}", s.avg_throughput_mbps),
             format!("{:.0}", s.delay_percentiles_ms[2]),
             format!("{:.0}", s.p95_delay_ms),
         ]);
-        match scheme {
-            SchemeChoice::Pbe => pbe_result = Some(result),
-            SchemeChoice::Baseline(SchemeName::Bbr) => bbr_result = Some(result),
-            _ => {}
-        }
     }
-    println!("{}", table.render());
+    writer.table("fig16_schemes", "Fig16: all schemes", &table)?;
 
-    println!("Figure 17: per-2-second median throughput and delay, PBE vs BBR\n");
+    let pbe = &report.outcome(LABEL, "PBE").expect("PBE ran").result;
+    let bbr = &report.outcome(LABEL, "BBR").expect("BBR ran").result;
     let mut t = TextTable::new(&["t (s)", "PBE tput", "PBE delay", "BBR tput", "BBR delay"]);
-    let (pbe, bbr) = (pbe_result.expect("pbe ran"), bbr_result.expect("bbr ran"));
     let intervals = (seconds / 2) as usize;
     for i in 0..intervals {
         let slice = |r: &SimResult| {
@@ -78,8 +84,8 @@ fn main() {
                 .collect();
             (tput, median(&delays).unwrap_or(0.0))
         };
-        let (pt, pd) = slice(&pbe);
-        let (bt, bd) = slice(&bbr);
+        let (pt, pd) = slice(pbe);
+        let (bt, bd) = slice(bbr);
         t.row(&[
             format!("{}", i * 2),
             format!("{pt:.1}"),
@@ -88,9 +94,17 @@ fn main() {
             format!("{bd:.0}"),
         ]);
     }
-    println!("{}", t.render());
-    println!(
-        "Paper reference: PBE-CC tracks the capacity drop (13-26 s) and recovery (26-30 s) with"
+    writer.table(
+        "fig17_timeline",
+        "Fig17: per-2-second median throughput and delay, PBE vs BBR",
+        &t,
+    )?;
+    writer.timing(&report);
+    writer.note(
+        "\nPaper reference: PBE-CC tracks the capacity drop (13-26 s) and recovery (26-30 s) with",
     );
-    println!("near-zero queueing; BBR overreacts to the drop and overshoots on recovery, inflating delay.");
+    writer.note(
+        "near-zero queueing; BBR overreacts to the drop and overshoots on recovery, inflating delay.",
+    );
+    Ok(())
 }

@@ -2,26 +2,43 @@
 //! test shares the cell with a 60 Mbit/s competitor that is on for 4 seconds
 //! out of every 8.  Fig. 18 compares the schemes; Fig. 19 shows the PBE-CC
 //! and BBR timelines.
+//!
+//! The competitor flows are background flows of the [`ScenarioSpec`] — only
+//! the flow under test takes the sweep's scheme axis — and the eight schemes
+//! run as one parallel sweep.
 
 use pbe_bench::scenarios::paper_schemes;
+use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
 use pbe_bench::TextTable;
-use pbe_cc_algorithms::api::SchemeName;
 use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
+use pbe_cellular::config::{CellId, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation};
+use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimResult};
 use pbe_stats::time::{Duration, Instant};
 
-fn run(scheme: SchemeChoice, seconds: u64) -> SimResult {
+const LABEL: &str = "Fig18 on-off competition";
+
+fn competition_scenario(seconds: u64) -> ScenarioSpec {
     let ue = UeId(1);
     let competitor = UeId(2);
     let duration = Duration::from_secs(seconds);
-    let mut flows = vec![FlowConfig::bulk(1, ue, scheme, duration)];
+    let mut spec = ScenarioSpec::new(LABEL, SchemeChoice::Pbe, duration)
+        .load(CellLoadProfile::idle())
+        .seed(18)
+        .ue(
+            UeConfig::new(ue, vec![CellId(0)], 1, -88.0),
+            MobilityTrace::stationary(-88.0),
+        )
+        .ue(
+            UeConfig::new(competitor, vec![CellId(0)], 1, -88.0),
+            MobilityTrace::stationary(-88.0),
+        )
+        .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration));
     // Competing 60 Mbit/s flow for 4 s out of every 8 s, on a second device.
     let mut id = 100;
     let mut t = 4u64;
     while t + 4 <= seconds {
-        flows.push(
+        spec = spec.background_flow(
             FlowConfig {
                 app: AppModel::ConstantRate(60e6),
                 ..FlowConfig::bulk(id, competitor, SchemeChoice::FixedRate, duration)
@@ -31,59 +48,46 @@ fn run(scheme: SchemeChoice, seconds: u64) -> SimResult {
         id += 1;
         t += 8;
     }
-    let cfg = SimConfig {
-        cellular: CellularConfig::default(),
-        load: CellLoadProfile::idle(),
-        seed: 18,
-        duration,
-        ues: vec![
-            (
-                UeConfig::new(ue, vec![CellId(0)], 1, -88.0),
-                MobilityTrace::stationary(-88.0),
-            ),
-            (
-                UeConfig::new(competitor, vec![CellId(0)], 1, -88.0),
-                MobilityTrace::stationary(-88.0),
-            ),
-        ],
-        flows,
-    };
-    Simulation::new(cfg).run()
+    spec
 }
 
-fn main() {
-    let seconds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24);
-    println!("Figure 18 reproduction: on-off 60 Mbit/s competitor, {seconds} s runs\n");
+fn main() -> std::io::Result<()> {
+    let args = SweepArgs::parse();
+    let seconds = args.seconds_or(24);
+    let writer = args.writer()?;
+    writer.note(&format!(
+        "Figure 18 reproduction: on-off 60 Mbit/s competitor, {seconds} s runs\n"
+    ));
+
+    let grid = SweepGrid::over(vec![competition_scenario(seconds)])
+        .schemes(paper_schemes().into_iter().map(|(s, _)| s));
+    let report = args.runner().run(grid.expand());
+
+    if writer.wants_json() {
+        writer.sweep_json("fig18_19_competition", &report)?;
+        writer.timing(&report);
+        return Ok(());
+    }
+
     let mut table = TextTable::new(&[
         "scheme",
         "avg tput (Mbit/s)",
         "avg delay (ms)",
         "p95 delay (ms)",
     ]);
-    let mut pbe_result = None;
-    let mut bbr_result = None;
-    for (scheme, name) in paper_schemes() {
-        let result = run(scheme.clone(), seconds);
-        let s = &result.flows[0].summary;
+    for outcome in report.by_label(LABEL) {
+        let s = &outcome.result.flows[0].summary;
         table.row(&[
-            name.to_string(),
+            outcome.spec.scheme.to_string(),
             format!("{:.1}", s.avg_throughput_mbps),
             format!("{:.0}", s.avg_delay_ms),
             format!("{:.0}", s.p95_delay_ms),
         ]);
-        match scheme {
-            SchemeChoice::Pbe => pbe_result = Some(result),
-            SchemeChoice::Baseline(SchemeName::Bbr) => bbr_result = Some(result),
-            _ => {}
-        }
     }
-    println!("{}", table.render());
+    writer.table("fig18_schemes", "Fig18: all schemes", &table)?;
 
-    println!("Figure 19: 200 ms-granularity timeline (competitor on during shaded intervals)\n");
-    let (pbe, bbr) = (pbe_result.expect("pbe"), bbr_result.expect("bbr"));
+    let pbe = &report.outcome(LABEL, "PBE").expect("PBE ran").result;
+    let bbr = &report.outcome(LABEL, "BBR").expect("BBR ran").result;
     let mut t = TextTable::new(&[
         "t (s)",
         "competitor",
@@ -104,8 +108,8 @@ fn main() {
                 f.delay_timeline_ms[w].unwrap_or(0.0),
             )
         };
-        let (pt, pd) = cell(&pbe);
-        let (bt, bd) = cell(&bbr);
+        let (pt, pd) = cell(pbe);
+        let (bt, bd) = cell(bbr);
         t.row(&[
             format!("{time_s:.1}"),
             if competitor_on {
@@ -119,7 +123,15 @@ fn main() {
             format!("{bd:.0}"),
         ]);
     }
-    println!("{}", t.render());
-    println!("Paper reference: PBE-CC ~57 Mbit/s with 61/71 ms avg/p95 delay; BBR slightly more");
-    println!("throughput but 147/227 ms delay; CUBIC and Verus 250-400+ ms delay.");
+    writer.table(
+        "fig19_timeline",
+        "Fig19: 200 ms-granularity timeline (competitor on during shaded intervals)",
+        &t,
+    )?;
+    writer.timing(&report);
+    writer.note(
+        "\nPaper reference: PBE-CC ~57 Mbit/s with 61/71 ms avg/p95 delay; BBR slightly more",
+    );
+    writer.note("throughput but 147/227 ms delay; CUBIC and Verus 250-400+ ms delay.");
+    Ok(())
 }

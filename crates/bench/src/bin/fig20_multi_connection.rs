@@ -1,21 +1,59 @@
 //! Figure 20: one device, two concurrent connections to two different
 //! servers.  PBE-CC divides the estimated wireless capacity evenly between
 //! its own flows; other schemes can end up badly unbalanced.
+//!
+//! Both flows take the sweep's scheme axis, so the 1 × 8 grid runs through
+//! the parallel sweep harness like every other comparison figure.
 
 use pbe_bench::scenarios::paper_schemes;
+use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
 use pbe_bench::TextTable;
 use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
+use pbe_cellular::config::{CellId, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{FlowConfig, SimConfig, Simulation};
+use pbe_netsim::{FlowConfig, SchemeChoice};
 use pbe_stats::time::Duration;
 
-fn main() {
-    let seconds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    println!("Figure 20 reproduction: two concurrent flows from one device to two servers ({seconds} s)\n");
+const LABEL: &str = "Fig20 two connections";
+
+fn multi_connection_scenario(seconds: u64) -> ScenarioSpec {
+    let ue = UeId(1);
+    let duration = Duration::from_secs(seconds);
+    ScenarioSpec::new(LABEL, SchemeChoice::Pbe, duration)
+        .load(CellLoadProfile::idle())
+        .seed(20)
+        .ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1)], 2, -87.0),
+            MobilityTrace::stationary(-87.0),
+        )
+        .flow(
+            FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)
+                .with_one_way_delay(Duration::from_millis(24)),
+        )
+        .flow(
+            FlowConfig::bulk(2, ue, SchemeChoice::Pbe, duration)
+                .with_one_way_delay(Duration::from_millis(32)),
+        )
+}
+
+fn main() -> std::io::Result<()> {
+    let args = SweepArgs::parse();
+    let seconds = args.seconds_or(12);
+    let writer = args.writer()?;
+    writer.note(&format!(
+        "Figure 20 reproduction: two concurrent flows from one device to two servers ({seconds} s)\n"
+    ));
+
+    let grid = SweepGrid::over(vec![multi_connection_scenario(seconds)])
+        .schemes(paper_schemes().into_iter().map(|(s, _)| s));
+    let report = args.runner().run(grid.expand());
+
+    if writer.wants_json() {
+        writer.sweep_json("fig20_multi_connection", &report)?;
+        writer.timing(&report);
+        return Ok(());
+    }
+
     let mut table = TextTable::new(&[
         "scheme",
         "flow1 tput",
@@ -24,35 +62,16 @@ fn main() {
         "flow2 med delay",
         "tput ratio",
     ]);
-    for (scheme, name) in paper_schemes() {
-        let ue = UeId(1);
-        let duration = Duration::from_secs(seconds);
-        let cfg = SimConfig {
-            cellular: CellularConfig::default(),
-            load: CellLoadProfile::idle(),
-            seed: 20,
-            duration,
-            ues: vec![(
-                UeConfig::new(ue, vec![CellId(0), CellId(1)], 2, -87.0),
-                MobilityTrace::stationary(-87.0),
-            )],
-            flows: vec![
-                FlowConfig::bulk(1, ue, scheme.clone(), duration)
-                    .with_one_way_delay(Duration::from_millis(24)),
-                FlowConfig::bulk(2, ue, scheme.clone(), duration)
-                    .with_one_way_delay(Duration::from_millis(32)),
-            ],
-        };
-        let result = Simulation::new(cfg).run();
-        let a = &result.flows[0].summary;
-        let b = &result.flows[1].summary;
+    for outcome in report.by_label(LABEL) {
+        let a = &outcome.result.flows[0].summary;
+        let b = &outcome.result.flows[1].summary;
         let ratio = if b.avg_throughput_mbps > 0.0 {
             a.avg_throughput_mbps / b.avg_throughput_mbps
         } else {
             f64::INFINITY
         };
         table.row(&[
-            name.to_string(),
+            outcome.spec.scheme.to_string(),
             format!("{:.1}", a.avg_throughput_mbps),
             format!("{:.1}", b.avg_throughput_mbps),
             format!("{:.0}", a.delay_percentiles_ms[2]),
@@ -60,7 +79,11 @@ fn main() {
             format!("{ratio:.2}"),
         ]);
     }
-    println!("{}", table.render());
-    println!("Paper reference: PBE-CC gives both flows similar throughput (26 / 28 Mbit/s, median");
-    println!("delays 48 / 56 ms); BBR splits 10 / 35 Mbit/s between its two flows.");
+    writer.table("fig20_two_connections", "Fig20: all schemes", &table)?;
+    writer.timing(&report);
+    writer.note(
+        "\nPaper reference: PBE-CC gives both flows similar throughput (26 / 28 Mbit/s, median",
+    );
+    writer.note("delays 48 / 56 ms); BBR splits 10 / 35 Mbit/s between its two flows.");
+    Ok(())
 }

@@ -7,21 +7,21 @@
 //! binary prints the per-second PRB allocation of the primary cell and
 //! Jain's fairness index for the two- and three-flow periods.
 //!
-//! Built on `SimBuilder` + the observer API: the PRB timeline is collected
-//! by a custom observer from the `SubframeScheduled` event stream — the same
-//! stream the simulator's own metrics use — instead of a simulator hook.
+//! Each case is one [`ScenarioSpec`] whose flows keep their own schemes (the
+//! mixed-scheme cases have no single "scheme under test"), and the four
+//! cases run as one parallel sweep.  The PRB timeline comes straight from
+//! [`SimResult::primary_prb_timeline`](pbe_netsim::SimResult) — the built-in
+//! metrics observer derives it from the same `SubframeScheduled` event
+//! stream the binary's bespoke observer used to tap.
 
+use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
 use pbe_bench::TextTable;
 use pbe_cc_algorithms::api::SchemeName;
 use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
-use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{FlowConfig, SchemeChoice, SimBuilder, SimEvent};
+use pbe_cellular::config::{CellId, UeConfig, UeId};
+use pbe_netsim::{FlowConfig, PrbInterval, SchemeChoice};
 use pbe_stats::jain::jain_index;
 use pbe_stats::time::{Duration, Instant};
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
 
 struct Case {
     label: &'static str,
@@ -29,16 +29,7 @@ struct Case {
     delays_ms: [u64; 3],
 }
 
-/// Per-100 ms average PRBs of the primary cell for each foreground UE,
-/// accumulated from the `SubframeScheduled` events.
-#[derive(Default)]
-struct PrbTimeline {
-    intervals: Vec<(f64, HashMap<u32, f64>)>,
-    accum: HashMap<u32, f64>,
-    interval_start_ms: u64,
-}
-
-fn run_case(case: &Case, total_s: u64) -> Vec<(f64, HashMap<u32, f64>)> {
+fn case_scenario(case: &Case, total_s: u64) -> ScenarioSpec {
     let duration = Duration::from_secs(total_s);
     // Start/stop pattern scaled from the paper's 60 s to `total_s`.
     let scale = total_s as f64 / 60.0;
@@ -46,46 +37,17 @@ fn run_case(case: &Case, total_s: u64) -> Vec<(f64, HashMap<u32, f64>)> {
     let stops = [60.0 * scale, 50.0 * scale, 40.0 * scale];
     let ues = [UeId(1), UeId(2), UeId(3)];
 
-    let timeline: Rc<RefCell<PrbTimeline>> = Rc::default();
-    let sink = timeline.clone();
-    let mut builder = SimBuilder::new()
-        .cell_profile(CellularConfig::default(), CellLoadProfile::none())
-        .seed(21)
-        .duration(duration)
-        .observe(move |event: &SimEvent<'_>| {
-            let SimEvent::SubframeScheduled { now, report } = event else {
-                return;
-            };
-            let mut tl = sink.borrow_mut();
-            for cr in &report.cell_reports {
-                if cr.cell != CellId(0) {
-                    continue;
-                }
-                for (i, ue) in [UeId(1), UeId(2), UeId(3)].iter().enumerate() {
-                    *tl.accum.entry(i as u32 + 1).or_insert(0.0) +=
-                        f64::from(cr.prb_usage.allocated_to(*ue));
-                }
-            }
-            let t_ms = now.as_millis();
-            if (t_ms + 1) % 100 == 0 {
-                let start_s = tl.interval_start_ms as f64 / 1000.0;
-                let per_flow: HashMap<u32, f64> = tl
-                    .accum
-                    .drain()
-                    .map(|(id, total)| (id, total / 100.0))
-                    .collect();
-                tl.intervals.push((start_s, per_flow));
-                tl.interval_start_ms = t_ms + 1;
-            }
-        });
+    let mut spec = ScenarioSpec::new(case.label, SchemeChoice::Pbe, duration).seed(21);
     for ue in ues {
-        builder = builder.ue(
+        spec = spec.ue(
             UeConfig::new(ue, vec![CellId(0)], 1, -86.0),
             MobilityTrace::stationary(-86.0),
         );
     }
     for i in 0..3 {
-        builder = builder.flow(
+        // Every flow keeps its configured scheme: these are fixed-cast
+        // scenarios, not points on a scheme axis.
+        spec = spec.background_flow(
             FlowConfig::bulk(i as u32 + 1, ues[i], case.schemes[i].clone(), duration)
                 .with_one_way_delay(Duration::from_millis(case.delays_ms[i]))
                 .with_lifetime(
@@ -94,18 +56,13 @@ fn run_case(case: &Case, total_s: u64) -> Vec<(f64, HashMap<u32, f64>)> {
                 ),
         );
     }
-    builder.run();
-    Rc::try_unwrap(timeline)
-        .unwrap_or_else(|_| panic!("observer dropped with the simulation"))
-        .into_inner()
-        .intervals
+    spec
 }
 
-fn main() {
-    let total_s: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(18);
+fn main() -> std::io::Result<()> {
+    let args = SweepArgs::parse();
+    let total_s = args.seconds_or(18);
+    let writer = args.writer()?;
     let pbe = SchemeChoice::Pbe;
     let bbr = SchemeChoice::Baseline(SchemeName::Bbr);
     let cubic = SchemeChoice::Baseline(SchemeName::Cubic);
@@ -131,20 +88,40 @@ fn main() {
             delays_ms: [24, 26, 28],
         },
     ];
-    println!("Figure 21 reproduction (flow lifetimes scaled from 60 s to {total_s} s)\n");
-    for case in &cases {
-        let intervals = run_case(case, total_s);
-        println!("=== {} ===\n", case.label);
+    writer.note(&format!(
+        "Figure 21 reproduction (flow lifetimes scaled from 60 s to {total_s} s)\n"
+    ));
+
+    let grid = SweepGrid::over(
+        cases
+            .iter()
+            .map(|case| case_scenario(case, total_s))
+            .collect(),
+    );
+    let report = args.runner().run(grid.expand());
+
+    if writer.wants_json() {
+        writer.sweep_json("fig21_fairness", &report)?;
+        writer.timing(&report);
+        return Ok(());
+    }
+
+    for (case_index, outcome) in report.outcomes.iter().enumerate() {
+        let intervals: &[PrbInterval] = &outcome.result.primary_prb_timeline;
         let mut table = TextTable::new(&["t (s)", "flow1 PRBs", "flow2 PRBs", "flow3 PRBs"]);
-        for (start_s, per_flow) in intervals.iter().step_by(10) {
+        for interval in intervals.iter().step_by(10) {
             table.row(&[
-                format!("{start_s:.0}"),
-                format!("{:.0}", per_flow.get(&1).copied().unwrap_or(0.0)),
-                format!("{:.0}", per_flow.get(&2).copied().unwrap_or(0.0)),
-                format!("{:.0}", per_flow.get(&3).copied().unwrap_or(0.0)),
+                format!("{:.0}", interval.start_s),
+                format!("{:.0}", interval.prbs_for(1)),
+                format!("{:.0}", interval.prbs_for(2)),
+                format!("{:.0}", interval.prbs_for(3)),
             ]);
         }
-        println!("{}", table.render());
+        writer.table(
+            &format!("fig21_case_{case_index}"),
+            &outcome.spec.label,
+            &table,
+        )?;
 
         // Jain's index over the window where all three flows are active
         // (scaled 20-40 s window) and where exactly two are active (10-20 s).
@@ -155,8 +132,8 @@ fn main() {
                 .map(|id| {
                     intervals
                         .iter()
-                        .filter(|(start_s, _)| *start_s >= lo_s && *start_s < hi_s)
-                        .map(|(_, per_flow)| per_flow.get(id).copied().unwrap_or(0.0))
+                        .filter(|iv| iv.start_s >= lo_s && iv.start_s < hi_s)
+                        .map(|iv| iv.prbs_for(*id))
                         .sum()
                 })
                 .collect();
@@ -164,14 +141,16 @@ fn main() {
         };
         let two = jain_over(10.0 * scale, 20.0 * scale, &[1, 2]);
         let three = jain_over(20.0 * scale, 40.0 * scale, &[1, 2, 3]);
-        println!(
+        writer.note(&format!(
             "Jain's index: two concurrent flows {:.2}%, three concurrent flows {:.2}%\n",
             two * 100.0,
             three * 100.0
-        );
+        ));
     }
-    println!(
-        "Paper reference: Jain's index 98.3-99.97% in every case; the base station's fairness"
+    writer.timing(&report);
+    writer.note(
+        "\nPaper reference: Jain's index 98.3-99.97% in every case; the base station's fairness",
     );
-    println!("policy keeps CUBIC/BBR from starving the PBE-CC flows.");
+    writer.note("policy keeps CUBIC/BBR from starving the PBE-CC flows.");
+    Ok(())
 }

@@ -1,14 +1,23 @@
 //! Experiment harness for the PBE-CC reproduction.
 //!
 //! Every table and figure of the paper's evaluation maps to one binary in
-//! `src/bin/` (see `DESIGN.md` §3 for the index and `EXPERIMENTS.md` for the
-//! recorded results).  The binaries print plot-ready text tables; the
-//! Criterion benches under `benches/` measure the computational cost of the
-//! building blocks (capacity estimation, scheduling, blind decoding, the
+//! `src/bin/` (the top-level `README.md` carries the figure → binary
+//! reproduction table).  The binaries print plot-ready tables;
+//! the Criterion benches under `benches/` measure the computational cost of
+//! the building blocks (capacity estimation, scheduling, blind decoding, the
 //! congestion-control update paths, and a short end-to-end simulation).
+//!
+//! The evaluation grid itself — scenario × scheme × seed — is a first-class
+//! subsystem in [`sweep`]: declarative [`ScenarioSpec`]s expand through a
+//! [`SweepGrid`] and execute on all cores via [`SweepRunner`], with results
+//! aggregated into a [`SweepReport`] and rendered by one shared
+//! text/CSV/JSON writer.  The stationary, mobility, competition,
+//! multi-connection and fairness figure binaries all run on it.
 
 pub mod scenarios;
+pub mod sweep;
 pub mod table;
 
 pub use scenarios::{Location, LocationKind, ScenarioLibrary};
+pub use sweep::{ScenarioSpec, SweepGrid, SweepReport, SweepRunner};
 pub use table::TextTable;

@@ -1,0 +1,50 @@
+//! Declarative scenario catalog and parallel sweep harness.
+//!
+//! The paper's evaluation is a grid — locations/mobility traces × eight
+//! congestion-control schemes × seeds — and before this module existed every
+//! `fig*` binary hand-rolled its own corner of that grid and ran each point
+//! serially.  The sweep harness makes the grid a first-class object:
+//!
+//! * [`ScenarioSpec`] — one fully specified grid point: cell profile, devices
+//!   with mobility traces, flows, the scheme under test, a seed and a
+//!   duration.  It is serde-serializable, so a scenario can live in a JSON
+//!   file as easily as in code, and `sim_config()` lowers it onto the
+//!   simulator's [`SimConfig`](pbe_netsim::SimConfig).
+//! * [`SweepGrid`] — a set of base scenarios crossed with a scheme axis and a
+//!   seed axis.  [`SweepGrid::expand`] produces the full cross product,
+//!   exactly once per point, in a deterministic order.
+//! * [`SweepRunner`] — executes a list of specs across OS threads using the
+//!   in-tree chunked worker [`pool`] (no external dependencies).  Every
+//!   scenario's randomness derives from its spec alone
+//!   ([`pbe_stats::derive_seed`]), so a parallel sweep is byte-identical to a
+//!   serial one; only the wall clock changes.
+//! * [`SweepReport`] — the aggregated outcome: per-scenario
+//!   [`SimResult`](pbe_netsim::SimResult)s plus wall-clock accounting
+//!   (total elapsed, summed per-scenario busy time, parallel speedup), with
+//!   JSON export and lookups by label/scheme.
+//! * [`report`] — the single shared table writer (aligned text, CSV, JSON,
+//!   stdout or `--out` directory) and the common CLI argument parser every
+//!   migrated `fig*` binary uses.
+//!
+//! ```
+//! use pbe_bench::sweep::{ScenarioSpec, SweepGrid, SweepRunner};
+//! use pbe_netsim::SchemeChoice;
+//! use pbe_stats::time::Duration;
+//!
+//! let base = ScenarioSpec::single_flow("demo", SchemeChoice::Pbe, Duration::from_millis(300));
+//! let grid = SweepGrid::over(vec![base])
+//!     .schemes([SchemeChoice::Pbe, SchemeChoice::named("BBR")])
+//!     .seed_replicas(2);
+//! let report = SweepRunner::new().workers(2).run(grid.expand());
+//! assert_eq!(report.outcomes.len(), 4); // 1 scenario × 2 schemes × 2 seeds
+//! ```
+
+pub mod pool;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use pool::run_indexed;
+pub use report::{OutputFormat, ReportWriter, SweepArgs};
+pub use runner::{ScenarioOutcome, SweepReport, SweepRunner};
+pub use spec::{ScenarioSpec, SweepGrid};

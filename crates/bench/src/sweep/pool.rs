@@ -1,0 +1,90 @@
+//! In-tree chunked worker pool.
+//!
+//! The sweep harness needs "run N independent jobs on all cores" and nothing
+//! more, so — in the same spirit as the offline stand-ins under
+//! `crates/compat/` — this module implements it directly on `std::thread`
+//! instead of pulling in an external executor.  Workers claim contiguous
+//! chunks of the index range from a shared atomic cursor (cheap, and
+//! neighbouring scenarios tend to have similar cost, which keeps the tail
+//! balanced); every job writes its result into its own index's slot, so the
+//! output order equals the input order no matter which worker ran what.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `count` independent jobs across `workers` OS threads and collect the
+/// results in index order.
+///
+/// `job(i)` must depend only on `i` (and captured shared state) — the pool
+/// guarantees each index runs exactly once but says nothing about which
+/// thread runs it.  With `workers <= 1` the jobs run inline on the calling
+/// thread, which is the serial baseline the determinism tests compare
+/// against.
+pub fn run_indexed<T, F>(count: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(count.max(1));
+    if workers <= 1 {
+        return (0..count).map(job).collect();
+    }
+
+    // Chunks of roughly a quarter of an even share: big enough to keep the
+    // cursor cold, small enough that a slow chunk cannot strand the tail.
+    let chunk = (count / (workers * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..count).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= count {
+                    break;
+                }
+                let end = (start + chunk).min(count);
+                for i in start..end {
+                    let out = job(i);
+                    slots.lock().expect("pool slots poisoned")[i] = Some(out);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("pool slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every index ran exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn results_are_in_index_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 4, 7] {
+            let out = run_indexed(23, workers, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let seen = Mutex::new(Vec::new());
+        run_indexed(101, 4, |i| seen.lock().unwrap().push(i));
+        let ran = seen.into_inner().unwrap();
+        assert_eq!(ran.len(), 101);
+        assert_eq!(ran.iter().collect::<HashSet<_>>().len(), 101);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<u8> = run_indexed(0, 4, |_| unreachable!("no jobs to run"));
+        assert!(out.is_empty());
+    }
+}

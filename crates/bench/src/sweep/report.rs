@@ -1,0 +1,242 @@
+//! The shared report writer and common CLI arguments of the `fig*` binaries.
+//!
+//! Before the sweep harness, every experiment binary hand-rolled its own
+//! stdout formatting, and adding CSV output or an output directory meant
+//! copying that code again.  This module is the single copy: a
+//! [`ReportWriter`] renders each named table as aligned text, CSV or JSON
+//! and sends it to stdout or a `--out` directory, and [`SweepArgs`] parses
+//! the command line every migrated binary shares:
+//!
+//! ```text
+//! fig13_14_stationary [SECONDS] [--workers N] [--serial] [--out DIR] [--format text|csv|json]
+//! ```
+
+use super::runner::{SweepReport, SweepRunner};
+use crate::table::TextTable;
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// Output format of the sweep tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Aligned plain-text tables (the default; what the paper's figures are
+    /// transcribed from).
+    Text,
+    /// Comma-separated values, one table per file (or stdout stream).
+    Csv,
+    /// The full [`SweepReport`] as JSON (specs, results and timing).
+    Json,
+}
+
+/// Command-line arguments shared by every sweep-based experiment binary.
+#[derive(Debug, Clone)]
+pub struct SweepArgs {
+    /// Simulated seconds per scenario (binaries supply their own default).
+    pub seconds: Option<u64>,
+    /// Worker threads; 0 means all available cores.
+    pub workers: usize,
+    /// Directory to write report files into (stdout when absent).
+    pub out_dir: Option<PathBuf>,
+    /// Table output format.
+    pub format: OutputFormat,
+}
+
+impl SweepArgs {
+    /// Parse `std::env::args()`.  Panics with a usage message on malformed
+    /// input — these are experiment binaries, not long-running services.
+    pub fn parse() -> Self {
+        SweepArgs::from_iter(std::env::args().skip(1))
+    }
+
+    fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut parsed = SweepArgs {
+            seconds: None,
+            workers: 0,
+            out_dir: None,
+            format: OutputFormat::Text,
+        };
+        let usage =
+            "usage: [SECONDS] [--workers N] [--serial] [--out DIR] [--format text|csv|json]";
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--workers" | "-w" => {
+                    let n = iter.next().and_then(|v| v.parse().ok());
+                    parsed.workers =
+                        n.unwrap_or_else(|| panic!("--workers needs a count; {usage}"));
+                }
+                "--serial" => parsed.workers = 1,
+                "--out" | "-o" => {
+                    let dir = iter
+                        .next()
+                        .unwrap_or_else(|| panic!("--out needs a directory; {usage}"));
+                    parsed.out_dir = Some(PathBuf::from(dir));
+                }
+                "--format" | "-f" => match iter.next().as_deref() {
+                    Some("text") => parsed.format = OutputFormat::Text,
+                    Some("csv") => parsed.format = OutputFormat::Csv,
+                    Some("json") => parsed.format = OutputFormat::Json,
+                    _ => panic!("--format takes text, csv or json; {usage}"),
+                },
+                "--csv" => parsed.format = OutputFormat::Csv,
+                "--json" => parsed.format = OutputFormat::Json,
+                other => match other.parse() {
+                    Ok(seconds) => parsed.seconds = Some(seconds),
+                    Err(_) => panic!("unrecognized argument {other:?}; {usage}"),
+                },
+            }
+        }
+        parsed
+    }
+
+    /// The per-scenario duration, with the binary's default.
+    pub fn seconds_or(&self, default: u64) -> u64 {
+        self.seconds.unwrap_or(default)
+    }
+
+    /// A [`SweepRunner`] honouring `--workers` / `--serial`.
+    pub fn runner(&self) -> SweepRunner {
+        SweepRunner::new().workers(self.workers)
+    }
+
+    /// The report writer honouring `--out` and `--format` (creates the
+    /// output directory if needed).
+    pub fn writer(&self) -> io::Result<ReportWriter> {
+        ReportWriter::new(self.format, self.out_dir.clone())
+    }
+}
+
+/// Renders named tables in the selected format, to stdout or an output
+/// directory.
+#[derive(Debug, Clone)]
+pub struct ReportWriter {
+    format: OutputFormat,
+    out_dir: Option<PathBuf>,
+}
+
+impl ReportWriter {
+    /// A writer for the given format and destination (creating the
+    /// directory when one is given).
+    pub fn new(format: OutputFormat, out_dir: Option<PathBuf>) -> io::Result<Self> {
+        if let Some(dir) = &out_dir {
+            fs::create_dir_all(dir)?;
+        }
+        Ok(ReportWriter { format, out_dir })
+    }
+
+    /// True when the caller should emit the whole [`SweepReport`] as JSON
+    /// (via [`ReportWriter::sweep_json`]) instead of per-figure tables.
+    pub fn wants_json(&self) -> bool {
+        self.format == OutputFormat::Json
+    }
+
+    /// Emit one named table: aligned text or CSV, to stdout (prefixed by a
+    /// `=== title ===` section header) or to `<out>/<name>.{txt,csv}`.
+    pub fn table(&self, name: &str, title: &str, table: &TextTable) -> io::Result<()> {
+        let (rendered, extension) = match self.format {
+            OutputFormat::Csv => (table.to_csv(), "csv"),
+            _ => (table.render(), "txt"),
+        };
+        self.emit(name, title, &rendered, extension)
+    }
+
+    /// Emit the whole sweep report as JSON, to stdout or `<out>/<name>.json`.
+    pub fn sweep_json(&self, name: &str, report: &SweepReport) -> io::Result<()> {
+        let json = serde_json::to_string(report).expect("sweep report serializes");
+        self.emit(name, name, &json, "json")
+    }
+
+    /// Emit free-form notes (reference text, section banners).  Notes print
+    /// to stdout only when the tables go to files (`--out`) or stdout is the
+    /// aligned-text report; when stdout *is* the CSV or JSON stream, prose
+    /// would corrupt it, so notes are dropped.
+    pub fn note(&self, text: &str) {
+        if self.format == OutputFormat::Text || self.out_dir.is_some() {
+            println!("{text}");
+        }
+    }
+
+    /// Emit the sweep's wall-clock statistics — on **stderr**, because the
+    /// numbers change run to run and stdout must stay byte-identical across
+    /// processes (the repo's determinism check `cmp`s it).
+    pub fn timing(&self, report: &SweepReport) {
+        eprintln!("sweep: {}", report.stats_line());
+    }
+
+    fn emit(&self, name: &str, title: &str, rendered: &str, extension: &str) -> io::Result<()> {
+        // Aligned-text output keeps its section title (CSV/JSON stay pure
+        // data — for files the title lives in the file name).
+        let titled;
+        let content = if self.format == OutputFormat::Text {
+            titled = format!("=== {title} ===\n\n{rendered}");
+            &titled
+        } else {
+            rendered
+        };
+        match &self.out_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{name}.{extension}"));
+                fs::write(&path, content)?;
+                println!("wrote {}", path.display());
+            }
+            None => println!("{content}"),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> SweepArgs {
+        SweepArgs::from_iter(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_the_shared_flag_set() {
+        let a = args(&["12", "--workers", "4", "--out", "/tmp/x", "--format", "csv"]);
+        assert_eq!(a.seconds_or(8), 12);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(a.format, OutputFormat::Csv);
+        assert_eq!(a.runner().worker_count(), 4);
+    }
+
+    #[test]
+    fn defaults_are_all_cores_text_stdout() {
+        let a = args(&[]);
+        assert_eq!(a.seconds_or(8), 8);
+        assert_eq!(a.workers, 0);
+        assert!(a.out_dir.is_none());
+        assert_eq!(a.format, OutputFormat::Text);
+        assert!(a.runner().worker_count() >= 1);
+    }
+
+    #[test]
+    fn serial_and_format_shortcuts() {
+        let a = args(&["--serial", "--json"]);
+        assert_eq!(a.runner().worker_count(), 1);
+        assert_eq!(a.format, OutputFormat::Json);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized argument")]
+    fn rejects_unknown_flags() {
+        args(&["--frobnicate"]);
+    }
+
+    #[test]
+    fn tables_land_in_the_output_directory() {
+        let dir = std::env::temp_dir().join("pbe_sweep_report_test");
+        let _ = fs::remove_dir_all(&dir);
+        let writer = ReportWriter::new(OutputFormat::Csv, Some(dir.clone())).unwrap();
+        let mut t = TextTable::new(&["scheme", "tput"]);
+        t.row_display(&["PBE", "55.2"]);
+        writer.table("fig_test", "test table", &t).unwrap();
+        let written = fs::read_to_string(dir.join("fig_test.csv")).unwrap();
+        assert_eq!(written, "scheme,tput\nPBE,55.2\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

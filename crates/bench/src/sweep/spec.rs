@@ -1,0 +1,336 @@
+//! Declarative scenario specifications and grid expansion.
+
+use crate::scenarios::Location;
+use pbe_cellular::channel::MobilityTrace;
+use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
+use pbe_cellular::traffic::CellLoadProfile;
+use pbe_netsim::{FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation};
+use pbe_stats::rng::derive_seed;
+use pbe_stats::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// One fully specified point of an evaluation grid.
+///
+/// A spec carries everything a [`SimConfig`] needs plus the sweep metadata:
+/// a human-readable `label` (carried through to reports), the `scheme` under
+/// test, and the set of flows that scheme drives (`sweep_flows` — background
+/// flows such as the §6.3.3 competitor keep their own configured scheme).
+/// Specs serialize to JSON, so a scenario catalog can live beside the code;
+/// see `docs/MIGRATION.md` for a commented example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name shown in reports (location, trace, case, …).
+    pub label: String,
+    /// The congestion-control scheme under test.
+    pub scheme: SchemeChoice,
+    /// Experiment seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Simulated duration.
+    pub duration: Duration,
+    /// Cellular-network configuration (cells, CA policy, overheads).
+    pub cellular: CellularConfig,
+    /// Background-traffic load profile applied to every cell.
+    pub load: CellLoadProfile,
+    /// Mobile devices and their mobility traces.
+    pub ues: Vec<(UeConfig, MobilityTrace)>,
+    /// All end-to-end flows of the scenario.
+    pub flows: Vec<FlowConfig>,
+    /// Ids of the flows driven by `scheme`; the rest keep their configured
+    /// scheme (competitors, fixed-rate probes).
+    pub sweep_flows: Vec<u32>,
+}
+
+impl ScenarioSpec {
+    /// An empty scenario on the default three-cell network with no
+    /// background load.
+    pub fn new(label: impl Into<String>, scheme: SchemeChoice, duration: Duration) -> Self {
+        ScenarioSpec {
+            label: label.into(),
+            scheme,
+            seed: 0,
+            duration,
+            cellular: CellularConfig::default(),
+            load: CellLoadProfile::none(),
+            ues: Vec::new(),
+            flows: Vec::new(),
+            sweep_flows: Vec::new(),
+        }
+    }
+
+    /// The paper's default single-device, single-bulk-flow scenario: one UE
+    /// on the primary cell at −85 dBm, one flow driven by the swept scheme.
+    pub fn single_flow(label: impl Into<String>, scheme: SchemeChoice, duration: Duration) -> Self {
+        let ue = UeId(1);
+        ScenarioSpec::new(label, scheme, duration)
+            .ue(
+                UeConfig::new(ue, vec![CellId(0)], 1, -85.0),
+                MobilityTrace::stationary(-85.0),
+            )
+            .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration))
+    }
+
+    /// A stationary-location scenario from the §6.3.1 library: the
+    /// location's RSSI, aggregation level, load profile and per-location
+    /// seed, with one bulk flow under test.
+    pub fn from_location(label: impl Into<String>, loc: &Location, duration: Duration) -> Self {
+        let ue = UeId(1);
+        let cells: Vec<CellId> = (0..3).map(|i| CellId(i as u8)).collect();
+        ScenarioSpec::new(label, SchemeChoice::Pbe, duration)
+            .load(loc.load())
+            .seed(loc.seed())
+            .ue(
+                UeConfig::new(ue, cells, loc.aggregated_cells, loc.rssi_dbm),
+                MobilityTrace::stationary(loc.rssi_dbm),
+            )
+            .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration))
+    }
+
+    /// Set the cellular-network configuration.
+    pub fn cellular(mut self, cellular: CellularConfig) -> Self {
+        self.cellular = cellular;
+        self
+    }
+
+    /// Set the background-load profile.
+    pub fn load(mut self, load: CellLoadProfile) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Set the base experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a mobile device with its mobility trace.
+    pub fn ue(mut self, config: UeConfig, trace: MobilityTrace) -> Self {
+        self.ues.push((config, trace));
+        self
+    }
+
+    /// Add a flow driven by the swept scheme.
+    pub fn flow(mut self, flow: FlowConfig) -> Self {
+        self.sweep_flows.push(flow.id);
+        self.flows.push(flow);
+        self
+    }
+
+    /// Add a background flow that keeps its own configured scheme (e.g. the
+    /// fixed-rate competitor of §6.3.3).
+    pub fn background_flow(mut self, flow: FlowConfig) -> Self {
+        self.flows.push(flow);
+        self
+    }
+
+    /// Lower the spec onto a plain simulator configuration, substituting the
+    /// scheme under test into the swept flows.
+    pub fn sim_config(&self) -> SimConfig {
+        let flows = self
+            .flows
+            .iter()
+            .map(|f| {
+                let mut f = f.clone();
+                if self.sweep_flows.contains(&f.id) {
+                    f.scheme = self.scheme.clone();
+                }
+                f
+            })
+            .collect();
+        SimConfig {
+            cellular: self.cellular.clone(),
+            load: self.load,
+            seed: self.seed,
+            duration: self.duration,
+            ues: self.ues.clone(),
+            flows,
+        }
+    }
+
+    /// Run this single scenario to completion (sugar for the one-off case;
+    /// sweeps go through [`SweepRunner`](crate::sweep::SweepRunner)).
+    pub fn run(&self) -> SimResult {
+        Simulation::new(self.sim_config()).run()
+    }
+}
+
+/// A set of base scenarios crossed with a scheme axis and a seed axis.
+///
+/// `expand()` yields `scenarios × schemes × seeds` [`ScenarioSpec`]s, exactly
+/// one per grid point, in deterministic scenario-major order (then scheme,
+/// then seed) — the order reports print in, independent of how many workers
+/// later execute the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// The base scenarios (their `scheme`/`seed` fields are the defaults the
+    /// axes override).
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Scheme axis.  Empty means "keep each scenario's own scheme".
+    pub schemes: Vec<SchemeChoice>,
+    /// Seed-replica axis: each entry is mixed into the scenario's base seed
+    /// with [`derive_seed`].  Empty means one replica with the base seed.
+    pub seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// A grid over the given base scenarios with no extra axes.
+    pub fn over(scenarios: Vec<ScenarioSpec>) -> Self {
+        SweepGrid {
+            scenarios,
+            schemes: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Set the scheme axis.
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = SchemeChoice>) -> Self {
+        self.schemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Set the seed axis to explicit replica indices.
+    ///
+    /// Entries are **not** experiment seeds: each index is mixed into the
+    /// scenario's base seed with [`derive_seed`] (index 0 keeps the base
+    /// seed unchanged).  To run one specific experiment seed, set it as the
+    /// scenario's base seed and leave this axis empty.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Set the seed axis to `count` replicas (indices `0..count`; replica 0
+    /// keeps each scenario's base seed).
+    pub fn seed_replicas(self, count: u64) -> Self {
+        self.seeds((0..count).collect::<Vec<_>>())
+    }
+
+    /// Number of grid points `expand()` will produce.
+    pub fn len(&self) -> usize {
+        self.scenarios.len() * self.schemes.len().max(1) * self.seeds.len().max(1)
+    }
+
+    /// True if the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The full cross product, exactly once per point.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let mut points = Vec::with_capacity(self.len());
+        for base in &self.scenarios {
+            let schemes: Vec<SchemeChoice> = if self.schemes.is_empty() {
+                vec![base.scheme.clone()]
+            } else {
+                self.schemes.clone()
+            };
+            let seeds: Vec<u64> = if self.seeds.is_empty() {
+                vec![0]
+            } else {
+                self.seeds.clone()
+            };
+            for scheme in &schemes {
+                for &replica in &seeds {
+                    let mut spec = base.clone();
+                    spec.scheme = scheme.clone();
+                    spec.seed = derive_seed(base.seed, replica);
+                    points.push(spec);
+                }
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_config_substitutes_only_swept_flows() {
+        let ue = UeId(1);
+        let competitor = UeId(2);
+        let duration = Duration::from_secs(2);
+        let spec = ScenarioSpec::new("comp", SchemeChoice::named("BBR"), duration)
+            .ue(
+                UeConfig::new(ue, vec![CellId(0)], 1, -85.0),
+                MobilityTrace::stationary(-85.0),
+            )
+            .ue(
+                UeConfig::new(competitor, vec![CellId(0)], 1, -85.0),
+                MobilityTrace::stationary(-85.0),
+            )
+            .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration))
+            .background_flow(FlowConfig::bulk(
+                2,
+                competitor,
+                SchemeChoice::FixedRate,
+                duration,
+            ));
+        let cfg = spec.sim_config();
+        assert_eq!(cfg.flows[0].scheme, SchemeChoice::named("BBR"));
+        assert_eq!(cfg.flows[1].scheme, SchemeChoice::FixedRate);
+    }
+
+    #[test]
+    fn from_location_matches_the_legacy_sim_config() {
+        let library = crate::scenarios::ScenarioLibrary::paper_40_locations();
+        let loc = &library.locations()[7];
+        let duration = Duration::from_secs(3);
+        let spec = ScenarioSpec::from_location("loc7", loc, duration);
+        let via_spec = spec.sim_config();
+        let legacy = loc.sim_config(SchemeChoice::Pbe, duration);
+        assert_eq!(
+            serde_json::to_string(&via_spec).unwrap(),
+            serde_json::to_string(&legacy).unwrap()
+        );
+    }
+
+    #[test]
+    fn expansion_is_the_exact_cross_product() {
+        let duration = Duration::from_millis(100);
+        let grid = SweepGrid::over(vec![
+            ScenarioSpec::single_flow("a", SchemeChoice::Pbe, duration).seed(10),
+            ScenarioSpec::single_flow("b", SchemeChoice::Pbe, duration).seed(20),
+        ])
+        .schemes([SchemeChoice::Pbe, SchemeChoice::named("BBR")])
+        .seed_replicas(3);
+        let points = grid.expand();
+        assert_eq!(points.len(), grid.len());
+        assert_eq!(points.len(), 2 * 2 * 3);
+        // Every (label, scheme, seed) triple is distinct.
+        let mut keys: Vec<String> = points
+            .iter()
+            .map(|p| format!("{}/{}/{}", p.label, p.scheme, p.seed))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 12);
+        // Replica 0 keeps the base seed.
+        assert_eq!(points[0].seed, 10);
+    }
+
+    #[test]
+    fn empty_axes_keep_the_base_scenario() {
+        let duration = Duration::from_millis(100);
+        let base = ScenarioSpec::single_flow("a", SchemeChoice::named("Copa"), duration).seed(5);
+        let points = SweepGrid::over(vec![base]).expand();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].scheme, SchemeChoice::named("Copa"));
+        assert_eq!(points[0].seed, 5);
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let duration = Duration::from_secs(1);
+        let spec = ScenarioSpec::single_flow("json", SchemeChoice::Pbe, duration).seed(3);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            serde_json::to_string(&back.sim_config()).unwrap(),
+            serde_json::to_string(&spec.sim_config()).unwrap()
+        );
+        assert_eq!(back.label, "json");
+        assert_eq!(back.sweep_flows, vec![1]);
+    }
+}

@@ -37,6 +37,26 @@ impl TextTable {
         self.rows.is_empty()
     }
 
+    /// Render the table as CSV (RFC 4180 quoting: cells containing commas,
+    /// quotes or newlines are quoted, embedded quotes doubled).  This is the
+    /// single CSV formatter of the experiment harness — the sweep report
+    /// writer routes every `--format csv` table through it.
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
     /// Render the table with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
@@ -80,6 +100,17 @@ mod tests {
         assert!(s.lines().count() >= 4);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_only_what_needs_quoting() {
+        let mut t = TextTable::new(&["scenario", "note"]);
+        t.row_display(&["plain", "ok"]);
+        t.row_display(&["with, comma", "say \"hi\""]);
+        assert_eq!(
+            t.to_csv(),
+            "scenario,note\nplain,ok\n\"with, comma\",\"say \"\"hi\"\"\"\n"
+        );
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Sweep-harness regression tests: parallel determinism and exact grid
+//! expansion.
+
+use pbe_bench::scenarios::ScenarioLibrary;
+use pbe_bench::sweep::{ScenarioSpec, SweepGrid, SweepRunner};
+use pbe_netsim::SchemeChoice;
+use pbe_stats::rng::derive_seed;
+use pbe_stats::time::Duration;
+use proptest::prelude::*;
+
+/// A small fig13/14-style stationary grid: three library locations crossed
+/// with two schemes and two seed replicas.
+fn stationary_grid() -> SweepGrid {
+    let duration = Duration::from_millis(400);
+    let scenarios = ScenarioLibrary::subset(3)
+        .iter()
+        .map(|loc| ScenarioSpec::from_location(format!("location {}", loc.index), loc, duration))
+        .collect();
+    SweepGrid::over(scenarios)
+        .schemes([SchemeChoice::Pbe, SchemeChoice::named("CUBIC")])
+        .seed_replicas(2)
+}
+
+/// The headline determinism guarantee: a sweep over the stationary grid with
+/// four workers produces byte-identical per-scenario results to the serial
+/// run — worker count only changes the wall clock, never the science.
+#[test]
+fn four_worker_sweep_is_byte_identical_to_serial() {
+    let grid = stationary_grid();
+    let specs = grid.expand();
+    assert_eq!(specs.len(), 3 * 2 * 2);
+
+    let serial = SweepRunner::serial().run(specs.clone());
+    let parallel = SweepRunner::new().workers(4).run(specs);
+    assert_eq!(parallel.workers, 4);
+    assert_eq!(serial.outcomes.len(), parallel.outcomes.len());
+
+    // Whole-report comparison (specs + results, timing excluded)…
+    assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+    // …and per-scenario, so a failure names the scenario that diverged.
+    for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(
+            serde_json::to_string(&s.result).unwrap(),
+            serde_json::to_string(&p.result).unwrap(),
+            "scenario {} ({}) diverged between serial and parallel",
+            s.spec.label,
+            s.spec.scheme
+        );
+    }
+}
+
+/// Replica 0 of a location keeps the location's own seed, so sweep results
+/// are comparable with standalone single-scenario runs.
+#[test]
+fn replica_zero_reproduces_the_standalone_run() {
+    let duration = Duration::from_millis(400);
+    let library = ScenarioLibrary::paper_40_locations();
+    let loc = &library.locations()[5];
+    let spec = ScenarioSpec::from_location("loc5", loc, duration);
+
+    let standalone = spec.run();
+    let report = SweepRunner::new()
+        .workers(2)
+        .run(SweepGrid::over(vec![spec]).seed_replicas(2).expand());
+    assert_eq!(report.outcomes[0].spec.seed, loc.seed());
+    assert_eq!(
+        serde_json::to_string(&standalone).unwrap(),
+        serde_json::to_string(&report.outcomes[0].result).unwrap()
+    );
+    assert_ne!(report.outcomes[1].spec.seed, loc.seed());
+}
+
+proptest! {
+    /// Grid expansion covers the scheme × seed cross product exactly once
+    /// per scenario, whatever the axis sizes.
+    #[test]
+    fn expansion_covers_the_cross_product_exactly_once(
+        scenario_count in 1usize..4,
+        scheme_count in 0usize..5,
+        seed_count in 0usize..5,
+        base_seed in 0u64..1_000_000,
+    ) {
+        let duration = Duration::from_millis(100);
+        let scheme_pool = ["PBE", "BBR", "CUBIC", "Copa", "Verus"];
+        let scenarios: Vec<ScenarioSpec> = (0..scenario_count)
+            .map(|i| {
+                ScenarioSpec::single_flow(format!("s{i}"), SchemeChoice::Pbe, duration)
+                    .seed(base_seed + i as u64)
+            })
+            .collect();
+        let grid = SweepGrid::over(scenarios)
+            .schemes(scheme_pool[..scheme_count].iter().map(|k| SchemeChoice::named(*k)))
+            .seeds(0..seed_count as u64);
+
+        let points = grid.expand();
+        prop_assert_eq!(points.len(), grid.len());
+        prop_assert_eq!(
+            points.len(),
+            scenario_count * scheme_count.max(1) * seed_count.max(1)
+        );
+
+        // Build the expected multiset of (label, scheme, seed) triples and
+        // check the expansion is exactly that set, exactly once each.
+        let mut expected: Vec<(String, String, u64)> = Vec::new();
+        for i in 0..scenario_count {
+            let base = base_seed + i as u64;
+            let schemes: Vec<String> = if scheme_count == 0 {
+                vec!["Pbe".into()]
+            } else {
+                scheme_pool[..scheme_count].iter().map(|s| s.to_string()).collect()
+            };
+            let seeds: Vec<u64> = if seed_count == 0 {
+                vec![base]
+            } else {
+                (0..seed_count as u64).map(|r| derive_seed(base, r)).collect()
+            };
+            for scheme in &schemes {
+                for &seed in &seeds {
+                    expected.push((format!("s{i}"), scheme.clone(), seed));
+                }
+            }
+        }
+        let mut actual: Vec<(String, String, u64)> = points
+            .iter()
+            .map(|p| {
+                let scheme = match &p.scheme {
+                    SchemeChoice::Named(name) => name.clone(),
+                    other => format!("{other:?}"),
+                };
+                (p.label.clone(), scheme, p.seed)
+            })
+            .collect();
+        expected.sort();
+        actual.sort();
+        prop_assert_eq!(actual, expected);
+    }
+}

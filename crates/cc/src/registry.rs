@@ -1,7 +1,7 @@
 //! The open, string-keyed scheme registry.
 //!
 //! Historically the workspace identified congestion-control schemes with the
-//! closed [`SchemeName`](crate::api::SchemeName) enum, and the simulator
+//! closed [`SchemeName`] enum, and the simulator
 //! special-cased PBE-CC on top of it.  The registry inverts that: a scheme is
 //! a [`SchemeId`] (its display name) mapped to a factory closure, so every
 //! algorithm — the eight baselines, PBE-CC (registered by `pbe-core`), and

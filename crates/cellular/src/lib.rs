@@ -3,7 +3,7 @@
 //! The original PBE-CC artifact ran over a commercial LTE deployment observed
 //! through USRP software-defined radios.  This crate replaces the over-the-air
 //! testbed with a faithful model of the mechanisms the paper's evaluation
-//! depends on (see `DESIGN.md` §1 for the substitution argument):
+//! depends on:
 //!
 //! * OFDMA resource grid: 180 kHz × 0.5 ms physical resource blocks (PRBs),
 //!   1 ms subframes, transport blocks ([`prb`], [`mcs`]).

@@ -26,6 +26,8 @@
 //! trait as every baseline, so the simulator and benchmark harness treat
 //! PBE-CC and its competitors identically.
 
+#![warn(missing_docs)]
+
 pub mod capacity;
 pub mod client;
 pub mod receiver;

@@ -24,7 +24,7 @@
 //! Registering a new scheme or tapping the event stream needs no simulator
 //! changes: `.scheme("TOY", |ctx| ...)` adds a congestion controller under a
 //! fresh registry key, and `.observe(...)` attaches any
-//! [`Observer`](crate::observer::Observer).
+//! [`Observer`].
 
 use crate::flow::FlowConfig;
 use crate::observer::Observer;

@@ -15,7 +15,7 @@
 //!
 //! * **Schemes** — congestion controllers are built from the string-keyed
 //!   [`SchemeRegistry`](pbe_cc_algorithms::registry::SchemeRegistry).  The
-//!   [`SchemeTable`](scheme::SchemeTable) used by a simulation maps each
+//!   [`SchemeTable`] used by a simulation maps each
 //!   registry key to its sender-side factory; PBE-CC is one entry like any
 //!   baseline.  [`SchemeChoice::Named`] selects externally registered
 //!   schemes, so an experiment can add one without touching this crate.
@@ -54,6 +54,11 @@
 //!
 //! [`Simulation::new`] with a plain [`SimConfig`] remains for serialized
 //! scenarios and existing callers; both paths run the identical engine.
+//! Scenario grids (scheme × trace × seed) and parallel execution live one
+//! level up, in `pbe-bench`'s `sweep` module, which lowers each declarative
+//! `ScenarioSpec` onto a [`SimConfig`] and runs it through this engine.
+
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod flow;

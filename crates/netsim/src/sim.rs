@@ -3,13 +3,11 @@
 //! time.
 //!
 //! The engine is scheme-agnostic.  Congestion controllers come from the
-//! [`SchemeTable`](crate::scheme::SchemeTable), receiver-side per-flow state
-//! machines are [`ReceiverAgent`]s built through the same table, and every
-//! measurable occurrence is narrated to the registered
-//! [`Observer`](crate::observer::Observer)s as typed
-//! [`SimEvent`](crate::observer::SimEvent)s — the standard [`SimResult`] is
-//! produced by the built-in [`MetricsCollector`](crate::metrics::MetricsCollector)
-//! listening to that same stream.
+//! [`SchemeTable`], receiver-side per-flow state machines are
+//! [`ReceiverAgent`]s built through the same table, and every measurable
+//! occurrence is narrated to the registered [`Observer`]s as typed
+//! [`SimEvent`]s — the standard [`SimResult`] is produced by the built-in
+//! [`MetricsCollector`] listening to that same stream.
 
 use crate::flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
 use crate::metrics::MetricsCollector;
@@ -76,8 +74,24 @@ impl SimConfig {
 pub struct PrbInterval {
     /// Interval start, seconds.
     pub start_s: f64,
-    /// Average PRBs per subframe allocated to each foreground UE.
+    /// Average PRBs per subframe allocated to each foreground UE, keyed by
+    /// the id of the UE's first configured flow (see
+    /// [`PrbInterval::prbs_for`]).
     pub per_ue: HashMap<u32, f64>,
+}
+
+impl PrbInterval {
+    /// Average PRBs per subframe the primary cell allocated to the UE this
+    /// flow id attributes (0.0 for flows with no attribution entry).
+    ///
+    /// Attribution is per *device*, keyed by the id of the UE's first
+    /// configured flow (the timeline cannot tell a device's flows apart at
+    /// the MAC layer).  For one-flow-per-UE scenarios — fig21's fairness
+    /// cases — that is simply the flow's own id; a second flow on the same
+    /// UE has no entry of its own and reads 0.0 here.
+    pub fn prbs_for(&self, flow: u32) -> f64 {
+        self.per_ue.get(&flow).copied().unwrap_or(0.0)
+    }
 }
 
 /// Result of one simulation run.

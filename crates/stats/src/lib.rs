@@ -8,7 +8,8 @@
 //!   the cellular MAC (1 ms subframes are expressed in this base).
 //! * [`rng`] — a splittable, deterministic random-number generator so that a
 //!   single `u64` seed reproduces an entire experiment bit-for-bit.
-//! * [`percentile`], [`cdf`], [`window`], [`jain`], [`summary`] — the
+//! * [`percentile`](mod@percentile), [`cdf`], [`window`], [`jain`],
+//!   [`summary`] — the
 //!   order-statistics, empirical-CDF, time-window aggregation, fairness-index
 //!   and per-flow summary machinery the paper's evaluation plots are built
 //!   from (throughput averaged over 100 ms windows, 95th-percentile one-way
@@ -25,7 +26,7 @@ pub mod window;
 pub use cdf::Cdf;
 pub use jain::jain_index;
 pub use percentile::{percentile, OnlineStats};
-pub use rng::DetRng;
+pub use rng::{derive_seed, DetRng};
 pub use summary::FlowSummary;
 pub use time::{Duration, Instant, MICROS_PER_MS, MICROS_PER_SEC};
 pub use window::WindowAggregator;

@@ -7,6 +7,18 @@
 //! components are added or reordered — the property the experiment harness
 //! relies on for run-to-run comparability across congestion-control schemes.
 
+/// Mix a replica index into a base experiment seed.
+///
+/// Sweeps that repeat a scenario across a seed axis derive each replica's
+/// experiment seed from the scenario's base seed and the replica index, so a
+/// scenario's identity — not which worker thread ran it — determines its
+/// randomness.  Index 0 leaves the base seed unchanged (a one-replica sweep
+/// reproduces the standalone run bit-for-bit), and distinct indices yield
+/// distinct seeds because the multiplier is odd (hence injective on `u64`).
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 /// A deterministic random number generator with named sub-streams.
 ///
 /// The core generator is xoshiro256++ seeded through SplitMix64 — the same
@@ -204,6 +216,15 @@ impl DetRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn derive_seed_keeps_base_at_index_zero_and_separates_replicas() {
+        assert_eq!(derive_seed(0xC0FFEE, 0), 0xC0FFEE);
+        let mut derived: Vec<u64> = (0..64).map(|i| derive_seed(0xC0FFEE, i)).collect();
+        derived.sort_unstable();
+        derived.dedup();
+        assert_eq!(derived.len(), 64);
+    }
 
     #[test]
     fn same_seed_same_stream() {
