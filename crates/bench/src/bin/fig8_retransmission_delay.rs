@@ -41,6 +41,7 @@ fn main() {
                 app: AppModel::ConstantRate(load_mbps * 1e6),
                 ..FlowConfig::bulk(1, ue, SchemeChoice::FixedRate, duration)
             }],
+            trajectories: Vec::new(),
         };
         let result = Simulation::new(cfg).run();
         let delays: Vec<f64> = result.flows[0]

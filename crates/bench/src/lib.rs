@@ -14,10 +14,12 @@
 //! text/CSV/JSON writer.  The stationary, mobility, competition,
 //! multi-connection and fairness figure binaries all run on it.
 
+#![warn(missing_docs)]
+
 pub mod scenarios;
 pub mod sweep;
 pub mod table;
 
 pub use scenarios::{Location, LocationKind, ScenarioLibrary};
-pub use sweep::{ScenarioSpec, SweepGrid, SweepReport, SweepRunner};
+pub use sweep::{CityScale, ScenarioSpec, SweepGrid, SweepReport, SweepRunner};
 pub use table::TextTable;

@@ -68,6 +68,7 @@ impl Location {
                 MobilityTrace::stationary(self.rssi_dbm),
             )],
             flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
+            trajectories: Vec::new(),
         }
     }
 }

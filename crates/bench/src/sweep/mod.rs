@@ -25,6 +25,10 @@
 //! * [`report`] — the single shared table writer (aligned text, CSV, JSON,
 //!   stdout or `--out` directory) and the common CLI argument parser every
 //!   migrated `fig*` binary uses.
+//! * [`city`] — the `city_scale` scenario family: a grid of cells under a
+//!   log-distance path-loss model with a fleet of UEs on random-waypoint
+//!   trajectories, compiled into per-cell RSSI traces that exercise the
+//!   inter-cell handover machinery at scale.
 //!
 //! ```
 //! use pbe_bench::sweep::{ScenarioSpec, SweepGrid, SweepRunner};
@@ -39,11 +43,13 @@
 //! assert_eq!(report.outcomes.len(), 4); // 1 scenario × 2 schemes × 2 seeds
 //! ```
 
+pub mod city;
 pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
+pub use city::CityScale;
 pub use pool::run_indexed;
 pub use report::{OutputFormat, ReportWriter, SweepArgs};
 pub use runner::{ScenarioOutcome, SweepReport, SweepRunner};

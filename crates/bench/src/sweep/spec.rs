@@ -4,7 +4,7 @@ use crate::scenarios::Location;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation};
+use pbe_netsim::{CellTrajectory, FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation};
 use pbe_stats::rng::derive_seed;
 use pbe_stats::time::Duration;
 use serde::{Deserialize, Serialize};
@@ -38,6 +38,11 @@ pub struct ScenarioSpec {
     /// Ids of the flows driven by `scheme`; the rest keep their configured
     /// scheme (competitors, fixed-rate probes).
     pub sweep_flows: Vec<u32>,
+    /// Per-cell trajectory overrides (multi-cell mobility — the city-scale
+    /// and handover scenario families).  `default` keeps pre-handover
+    /// scenario JSON loadable.
+    #[serde(default)]
+    pub trajectories: Vec<CellTrajectory>,
 }
 
 impl ScenarioSpec {
@@ -54,6 +59,7 @@ impl ScenarioSpec {
             ues: Vec::new(),
             flows: Vec::new(),
             sweep_flows: Vec::new(),
+            trajectories: Vec::new(),
         }
     }
 
@@ -123,6 +129,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Override the RSSI trajectory one UE sees towards one of its
+    /// configured cells (multi-cell mobility; see
+    /// [`SimConfig::trajectories`]).
+    pub fn trajectory(mut self, ue: UeId, cell: CellId, trace: MobilityTrace) -> Self {
+        self.trajectories.push(CellTrajectory { ue, cell, trace });
+        self
+    }
+
     /// Lower the spec onto a plain simulator configuration, substituting the
     /// scheme under test into the swept flows.
     pub fn sim_config(&self) -> SimConfig {
@@ -144,6 +158,7 @@ impl ScenarioSpec {
             duration: self.duration,
             ues: self.ues.clone(),
             flows,
+            trajectories: self.trajectories.clone(),
         }
     }
 

@@ -1,9 +1,12 @@
-//! Sweep-harness regression tests: parallel determinism and exact grid
-//! expansion.
+//! Sweep-harness regression tests: parallel determinism (including across
+//! handovers) and exact grid expansion.
 
 use pbe_bench::scenarios::ScenarioLibrary;
-use pbe_bench::sweep::{ScenarioSpec, SweepGrid, SweepRunner};
-use pbe_netsim::SchemeChoice;
+use pbe_bench::sweep::{CityScale, ScenarioSpec, SweepGrid, SweepRunner};
+use pbe_cellular::channel::MobilityTrace;
+use pbe_cellular::config::{CellId, UeConfig, UeId};
+use pbe_cellular::traffic::CellLoadProfile;
+use pbe_netsim::{FlowConfig, SchemeChoice};
 use pbe_stats::rng::derive_seed;
 use pbe_stats::time::Duration;
 use proptest::prelude::*;
@@ -47,6 +50,69 @@ fn four_worker_sweep_is_byte_identical_to_serial() {
             s.spec.scheme
         );
     }
+}
+
+/// A two-cell crossing that reliably triggers a handover: cell 0 fades
+/// −85 → −110 dBm over 4.5 s while cell 1 rises symmetrically.
+fn handover_scenario(seconds: u64) -> ScenarioSpec {
+    let ue = UeId(1);
+    let duration = Duration::from_secs(seconds);
+    ScenarioSpec::new("handover crossing", SchemeChoice::Pbe, duration)
+        .load(CellLoadProfile::idle())
+        .seed(71)
+        .ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1)], 1, -85.0),
+            MobilityTrace::stationary(-85.0),
+        )
+        .trajectory(
+            ue,
+            CellId(0),
+            MobilityTrace::from_secs(&[(0.0, -85.0), (4.5, -110.0)]),
+        )
+        .trajectory(
+            ue,
+            CellId(1),
+            MobilityTrace::from_secs(&[(0.0, -110.0), (4.5, -85.0)]),
+        )
+        .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration))
+}
+
+/// Handover determinism: the most state-heavy event in the simulator —
+/// queue draining, HARQ forwarding, reorder flushes, monitor re-targeting —
+/// must not let the worker schedule leak into the results.  A handover
+/// scenario (plus a small city-scale fleet) sweeps byte-identically on one
+/// and four workers, and actually hands over.
+#[test]
+fn handover_sweep_is_byte_identical_between_serial_and_four_workers() {
+    let mut specs: Vec<ScenarioSpec> = SweepGrid::over(vec![handover_scenario(6)])
+        .schemes([SchemeChoice::Pbe, SchemeChoice::named("BBR")])
+        .seed_replicas(2)
+        .expand();
+    specs.push(CityScale::driving(2, 1, 3).seconds(6).seed(9).scenario());
+
+    let serial = SweepRunner::serial().run(specs.clone());
+    let parallel = SweepRunner::new().workers(4).run(specs);
+    assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+    for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(
+            serde_json::to_string(&s.result).unwrap(),
+            serde_json::to_string(&p.result).unwrap(),
+            "scenario {} ({}) diverged between serial and parallel",
+            s.spec.label,
+            s.spec.scheme
+        );
+    }
+    // The scenario is not vacuous: the crossing hands the UE over.
+    let crossing = serial
+        .outcome("handover crossing", "PBE")
+        .expect("PBE crossing ran");
+    assert!(
+        !crossing.result.handovers.is_empty(),
+        "the crossing scenario must hand over"
+    );
+    let ho = crossing.result.handovers[0];
+    assert_eq!(ho.from, CellId(0));
+    assert_eq!(ho.to, CellId(1));
 }
 
 /// Replica 0 of a location keeps the location's own seed, so sweep results

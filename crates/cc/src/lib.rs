@@ -16,6 +16,8 @@
 //! online utility-gradient search — at the level of detail the paper's
 //! evaluation exercises.
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod bbr;
 pub mod copa;

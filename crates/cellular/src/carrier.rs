@@ -84,6 +84,17 @@ impl CarrierAggregationManager {
         ue_config.configured_cells[..n].to_vec()
     }
 
+    /// Collapse a UE back to its primary cell only (used by the handover
+    /// procedure: the connection re-establishes on the target cell and
+    /// secondaries re-activate on demand).  `ever_aggregated` is preserved.
+    pub fn reset(&mut self, ue: UeId) {
+        if let Some(state) = self.states.get_mut(&ue) {
+            state.active = 1;
+            state.high_streak = 0;
+            state.low_streak = 0;
+        }
+    }
+
     /// True if the UE ever had more than one active cell.
     pub fn ever_aggregated(&self, ue: UeId) -> bool {
         self.states

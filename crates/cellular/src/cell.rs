@@ -57,6 +57,21 @@ pub struct SubframeReport {
     pub queue_bits: HashMap<UeId, u64>,
 }
 
+impl Default for SubframeReport {
+    /// An empty report for cell 0 — a placeholder buffer that
+    /// [`Cell::tick_into`] overwrites entirely.
+    fn default() -> Self {
+        SubframeReport {
+            cell: CellId(0),
+            subframe: 0,
+            dci_messages: Vec::new(),
+            outcomes: Vec::new(),
+            prb_usage: PrbUsage::default(),
+            queue_bits: HashMap::new(),
+        }
+    }
+}
+
 /// One component carrier of the simulated eNodeB.
 #[derive(Debug)]
 pub struct Cell {
@@ -64,7 +79,17 @@ pub struct Cell {
     scheduler: EqualShareScheduler,
     background: BackgroundTraffic,
     queues: HashMap<UeId, VecDeque<QueueEntry>>,
+    /// Running per-UE queue depth in bits, maintained on enqueue/transmit/
+    /// detach so [`Cell::queue_bits`] is O(1) — it is consulted per packet
+    /// by the network's flow splitting and per subframe by the scheduler
+    /// and the CA state machine, where walking a bufferbloated queue would
+    /// dominate the tick.
+    queued_bits: HashMap<UeId, u64>,
     rnti_of: HashMap<UeId, Rnti>,
+    /// Attached UEs in sorted order — cached so the per-subframe tick does
+    /// not rebuild and re-sort the list (it is taken/restored around the
+    /// tick body to satisfy the borrow checker without a clone).
+    attached: Vec<UeId>,
     harq: HashMap<UeId, HarqEntity>,
     next_sequence: HashMap<UeId, u64>,
     tb_counter: u64,
@@ -88,7 +113,9 @@ impl Cell {
             scheduler: EqualShareScheduler::new(),
             background,
             queues: HashMap::new(),
+            queued_bits: HashMap::new(),
             rnti_of: HashMap::new(),
+            attached: Vec::new(),
             harq: HashMap::new(),
             next_sequence: HashMap::new(),
             tb_counter: 0,
@@ -123,10 +150,63 @@ impl Cell {
 
     /// Attach a foreground UE with the RNTI its grants will be addressed to.
     pub fn attach(&mut self, ue: UeId, rnti: Rnti) {
-        self.rnti_of.insert(ue, rnti);
+        if self.rnti_of.insert(ue, rnti).is_none() {
+            let pos = self.attached.partition_point(|u| *u < ue);
+            self.attached.insert(pos, ue);
+        }
         self.queues.entry(ue).or_default();
         self.harq.entry(ue).or_default();
         self.next_sequence.entry(ue).or_insert(0);
+    }
+
+    /// Detach a UE, draining everything the cell still holds for it: queued
+    /// packets plus the payload of transport blocks awaiting HARQ
+    /// retransmission, merged per packet in transmission order.  The caller
+    /// (the handover procedure) re-enqueues the returned packets at the
+    /// target cell — the data forwarding of an X2 handover.  The UE's RLC
+    /// sequence space here is discarded; re-attaching starts from 0.
+    pub fn detach(&mut self, ue: UeId, now: Instant) -> Vec<QueuedPacket> {
+        self.rnti_of.remove(&ue);
+        self.attached.retain(|u| *u != ue);
+        self.next_sequence.remove(&ue);
+        self.queued_bits.remove(&ue);
+        let mut forwarded: Vec<QueuedPacket> = Vec::new();
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        let mut add =
+            |forwarded: &mut Vec<QueuedPacket>, id: u64, bytes: u32, at: Instant| match index
+                .get(&id)
+            {
+                Some(&i) => {
+                    forwarded[i].bytes += bytes;
+                    forwarded[i].enqueued_at = forwarded[i].enqueued_at.min(at);
+                }
+                None => {
+                    index.insert(id, forwarded.len());
+                    forwarded.push(QueuedPacket {
+                        id,
+                        bytes,
+                        enqueued_at: at,
+                    });
+                }
+            };
+        if let Some(mut harq) = self.harq.remove(&ue) {
+            for block in harq.drain_pending() {
+                for seg in &block.segments {
+                    add(&mut forwarded, seg.packet_id, seg.bytes, now);
+                }
+            }
+        }
+        if let Some(queue) = self.queues.remove(&ue) {
+            for entry in queue {
+                add(
+                    &mut forwarded,
+                    entry.packet.id,
+                    entry.remaining_bytes,
+                    entry.packet.enqueued_at,
+                );
+            }
+        }
+        forwarded
     }
 
     /// True if the UE is attached to this cell.
@@ -137,18 +217,17 @@ impl Cell {
     /// Enqueue a downlink packet for an attached UE.
     pub fn enqueue(&mut self, ue: UeId, packet: QueuedPacket) {
         debug_assert!(self.is_attached(ue), "enqueue for unattached {ue}");
+        *self.queued_bits.entry(ue).or_insert(0) += u64::from(packet.bytes) * 8;
         self.queues.entry(ue).or_default().push_back(QueueEntry {
             remaining_bytes: packet.bytes,
             packet,
         });
     }
 
-    /// Bits waiting in the downlink queue of a UE.
+    /// Bits waiting in the downlink queue of a UE (O(1): maintained as a
+    /// running counter).
     pub fn queue_bits(&self, ue: UeId) -> u64 {
-        self.queues
-            .get(&ue)
-            .map(|q| q.iter().map(|e| u64::from(e.remaining_bytes) * 8).sum())
-            .unwrap_or(0)
+        self.queued_bits.get(&ue).copied().unwrap_or(0)
     }
 
     /// Number of packets waiting (fully or partially) for a UE.
@@ -191,6 +270,12 @@ impl Cell {
                 queue.pop_front();
             }
         }
+        let used_bits = u64::from(used_bytes) * 8;
+        if used_bits > 0 {
+            if let Some(bits) = self.queued_bits.get_mut(&ue) {
+                *bits = bits.saturating_sub(used_bits);
+            }
+        }
         (segments, used_bytes * 8)
     }
 
@@ -203,17 +288,42 @@ impl Cell {
         subframe: u64,
         channels: &HashMap<UeId, ChannelState>,
     ) -> SubframeReport {
+        let mut report = SubframeReport::default();
+        self.tick_into(subframe, channels, &mut report);
+        report
+    }
+
+    /// Advance the cell by one subframe, writing into a caller-owned report.
+    ///
+    /// The hot-loop variant of [`Cell::tick`]: the report's vectors and maps
+    /// are cleared and refilled in place, so a driver that reuses one report
+    /// per cell allocates nothing per subframe once the buffers have grown
+    /// to their working size.
+    pub fn tick_into(
+        &mut self,
+        subframe: u64,
+        channels: &HashMap<UeId, ChannelState>,
+        report: &mut SubframeReport,
+    ) {
         self.subframes_ticked += 1;
         let total_prbs = self.config.total_prbs();
-        let mut dci_messages = Vec::new();
-        let mut outcomes = Vec::new();
-        let mut allocations: Vec<PrbAllocation> = Vec::new();
+        report.cell = self.config.id;
+        report.subframe = subframe;
+        report.dci_messages.clear();
+        report.outcomes.clear();
+        report.prb_usage.total = total_prbs;
+        report.prb_usage.allocations.clear();
+        report.queue_bits.clear();
+        let dci_messages = &mut report.dci_messages;
+        let outcomes = &mut report.outcomes;
+        let allocations = &mut report.prb_usage.allocations;
         let mut cursor: u16 = 0;
 
         // --- Phase 1: HARQ retransmissions take priority. ------------------
-        // Sorted for cross-process determinism (see CellularNetwork::tick).
-        let mut ue_ids: Vec<UeId> = self.rnti_of.keys().copied().collect();
-        ue_ids.sort_unstable();
+        // The cached attached list is already sorted for cross-process
+        // determinism (see CellularNetwork::tick); it is taken and restored
+        // around the body so the loop can borrow `self` mutably.
+        let ue_ids = std::mem::take(&mut self.attached);
         for ue in &ue_ids {
             let Some(state) = channels.get(ue) else {
                 continue;
@@ -392,23 +502,11 @@ impl Cell {
                 num_prbs: alloc.num_prbs,
             });
         }
-        let prb_usage = PrbUsage {
-            total: total_prbs,
-            allocations,
-        };
-        self.total_allocated_prbs += u64::from(prb_usage.allocated());
-        let queue_bits = ue_ids
-            .iter()
-            .map(|ue| (*ue, self.queue_bits(*ue)))
-            .collect();
-        SubframeReport {
-            cell: self.config.id,
-            subframe,
-            dci_messages,
-            outcomes,
-            prb_usage,
-            queue_bits,
+        self.total_allocated_prbs += u64::from(report.prb_usage.allocated());
+        for ue in &ue_ids {
+            report.queue_bits.insert(*ue, self.queue_bits(*ue));
         }
+        self.attached = ue_ids;
     }
 }
 

@@ -98,6 +98,78 @@ pub struct ChannelState {
     pub bit_error_rate: f64,
 }
 
+impl ChannelState {
+    /// Reference-signal received power of this sample, dBm.
+    ///
+    /// True RSRP is the per-resource-element power, a fixed offset
+    /// (−10·log10(12·PRBs)) below the wideband RSSI; a fixed offset is
+    /// invisible to the comparative A3 ranking, so the model reports the
+    /// faded RSSI directly and keeps the traces' dBm calibration.
+    pub fn rsrp_dbm(&self) -> f64 {
+        self.rssi_dbm
+    }
+}
+
+/// Exponential L3 measurement filter applied to raw per-sample RSRP before
+/// cell ranking (3GPP's layer-3 filtering, TS 36.331 §5.5.3.2).
+///
+/// Fast fading swings the per-subframe RSRP by several dB; ranking cells on
+/// raw samples would hand over on fades.  The filter is a first-order
+/// exponential smoother with a configurable time constant: each new sample
+/// moves the state by `1 − exp(−Δt/τ)` of the gap.
+#[derive(Debug, Clone, Copy)]
+pub struct L3Filter {
+    time_constant_ms: f64,
+    state_dbm: Option<f64>,
+    last_sample: Instant,
+}
+
+impl L3Filter {
+    /// A filter with the given smoothing time constant in milliseconds.
+    pub fn new(time_constant_ms: f64) -> Self {
+        L3Filter {
+            time_constant_ms: time_constant_ms.max(0.0),
+            state_dbm: None,
+            last_sample: Instant::ZERO,
+        }
+    }
+
+    /// Fold one raw RSRP sample taken at `t` into the filter and return the
+    /// filtered value.  The first sample initialises the state directly.
+    pub fn update(&mut self, t: Instant, rsrp_dbm: f64) -> f64 {
+        let state = match self.state_dbm {
+            None => rsrp_dbm,
+            Some(prev) => {
+                let dt_ms = t.saturating_since(self.last_sample).as_millis_f64();
+                let alpha = if self.time_constant_ms <= 0.0 {
+                    1.0
+                } else {
+                    1.0 - (-dt_ms / self.time_constant_ms).exp()
+                };
+                prev + alpha * (rsrp_dbm - prev)
+            }
+        };
+        self.state_dbm = Some(state);
+        self.last_sample = t;
+        state
+    }
+
+    /// The current filtered RSRP, if at least one sample arrived.
+    pub fn get(&self) -> Option<f64> {
+        self.state_dbm
+    }
+}
+
+/// Rank cells by filtered RSRP, strongest first (deterministic: ties break
+/// towards the lower cell id so the ranking is stable across platforms).
+pub fn rank_cells_by_rsrp(measurements: &mut [(crate::config::CellId, f64)]) {
+    measurements.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+}
+
 /// Per-(UE, cell) wireless channel model.
 #[derive(Debug, Clone)]
 pub struct ChannelModel {

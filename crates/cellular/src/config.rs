@@ -164,6 +164,52 @@ impl UeConfig {
     }
 }
 
+/// Configuration of the inter-cell handover (A3 reselection) machinery.
+///
+/// The serving cell of a UE changes when a neighbour cell's L3-filtered RSRP
+/// exceeds the serving cell's by `a3_hysteresis_db` for
+/// `time_to_trigger_ms` consecutive milliseconds — the classic LTE A3 event.
+/// Measurements of non-serving cells are taken every
+/// `measurement_period_ms`; `min_interval_ms` suppresses ping-pong
+/// re-handover; `reacquisition_gap_ms` is how long a PBE-CC monitor is blind
+/// after retuning onto the target cell's control channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoverConfig {
+    /// Master switch; with `false` a UE keeps its initial serving cell
+    /// forever (the pre-handover behaviour).
+    pub enabled: bool,
+    /// A3 hysteresis: how many dB stronger than the serving cell a
+    /// neighbour's filtered RSRP must be.
+    pub a3_hysteresis_db: f64,
+    /// How long the A3 condition must hold before the handover fires, ms.
+    pub time_to_trigger_ms: u64,
+    /// Time constant of the L3 RSRP smoothing filter, ms (suppresses fast
+    /// fading so fades do not masquerade as cell crossings).
+    pub l3_filter_ms: f64,
+    /// Neighbour-cell measurement period, ms (serving/active cells are
+    /// measured every subframe as a side effect of scheduling).
+    pub measurement_period_ms: u64,
+    /// Minimum time between two handovers of the same UE, ms.
+    pub min_interval_ms: u64,
+    /// Subframes the endpoint's PDCCH monitor needs to re-synchronise onto
+    /// the target cell's control channel after a handover.
+    pub reacquisition_gap_ms: u64,
+}
+
+impl Default for HandoverConfig {
+    fn default() -> Self {
+        HandoverConfig {
+            enabled: true,
+            a3_hysteresis_db: 3.0,
+            time_to_trigger_ms: 160,
+            l3_filter_ms: 100.0,
+            measurement_period_ms: 40,
+            min_interval_ms: 1000,
+            reacquisition_gap_ms: 40,
+        }
+    }
+}
+
 /// Top-level configuration of the cellular network model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CellularConfig {
@@ -183,6 +229,10 @@ pub struct CellularConfig {
     /// Protocol (RLC/PDCP/MAC header) overhead fraction γ of the paper's
     /// Eqn. 5 (measured as 6.8 %).
     pub protocol_overhead: f64,
+    /// Inter-cell handover (A3 reselection) parameters.  `default` so
+    /// configuration JSON written before handover existed still loads.
+    #[serde(default)]
+    pub handover: HandoverConfig,
 }
 
 impl Default for CellularConfig {
@@ -203,6 +253,7 @@ impl Default for CellularConfig {
             ca_deactivation_subframes: 200,
             ca_deactivation_utilisation: 0.5,
             protocol_overhead: 0.068,
+            handover: HandoverConfig::default(),
         }
     }
 }

@@ -190,6 +190,18 @@ impl HarqEntity {
         outcomes
     }
 
+    /// Take every block still awaiting retransmission, in RLC sequence
+    /// order, leaving the entity empty.
+    ///
+    /// Used by the handover procedure: the source cell forwards its
+    /// in-flight blocks to the target cell, which re-enqueues their payload
+    /// for fresh transmission (the X2 data-forwarding of a real handover).
+    pub fn drain_pending(&mut self) -> Vec<TransportBlock> {
+        let mut blocks: Vec<TransportBlock> = self.pending.drain(..).map(|p| p.block).collect();
+        blocks.sort_by_key(|b| b.sequence);
+        blocks
+    }
+
     /// Fraction of all transmissions that were retransmissions (the paper's
     /// Fig. 6a retransmission overhead).
     pub fn retransmission_overhead(&self) -> f64 {

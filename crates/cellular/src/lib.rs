@@ -26,11 +26,14 @@
 //! * The [`network::CellularNetwork`] orchestrator that ties all of the above
 //!   into the per-subframe data path used by the end-to-end simulator.
 
+#![warn(missing_docs)]
+
 pub mod carrier;
 pub mod cell;
 pub mod channel;
 pub mod config;
 pub mod dci;
+pub mod handover;
 pub mod harq;
 pub mod mcs;
 pub mod network;

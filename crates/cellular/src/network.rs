@@ -1,21 +1,26 @@
-//! The cellular network orchestrator: cells, UEs, carrier aggregation and the
-//! per-subframe data path.
+//! The cellular network orchestrator: cells, UEs, carrier aggregation,
+//! inter-cell handover and the per-subframe data path.
 //!
 //! [`CellularNetwork`] is the boundary the end-to-end simulator talks to: the
 //! wired path hands it downlink packets ([`CellularNetwork::enqueue_packet`]),
 //! it advances the radio access network one 1 ms subframe at a time
 //! ([`CellularNetwork::tick`]), and it reports packet deliveries (with the
 //! HARQ/reordering delays the paper analyses), every DCI message transmitted
-//! on every cell's control channel (the PBE-CC monitor's input), PRB usage
-//! and carrier-aggregation events.
+//! on every cell's control channel (the PBE-CC monitor's input), PRB usage,
+//! carrier-aggregation events and serving-cell handovers.
+//!
+//! The tick path is allocation-conscious: drivers that advance millions of
+//! subframes should call [`CellularNetwork::tick_into`] with one reused
+//! [`NetworkTickReport`], which clears and refills its buffers in place.
 
 use crate::carrier::{CaEvent, CaObservation, CarrierAggregationManager};
 use crate::cell::{Cell, QueuedPacket, SubframeReport};
 use crate::channel::{ChannelModel, ChannelState, MobilityTrace};
 use crate::config::{CellId, CellularConfig, Rnti, UeConfig, UeId};
 use crate::dci::DciMessage;
+use crate::handover::{HandoverEvent, HandoverManager};
 use crate::traffic::{BackgroundTraffic, CellLoadProfile};
-use crate::ue::UserEquipment;
+use crate::ue::{PacketEvent, UserEquipment};
 use pbe_stats::time::Instant;
 use pbe_stats::DetRng;
 use serde::{Deserialize, Serialize};
@@ -52,6 +57,9 @@ pub struct NetworkTickReport {
     pub cell_reports: Vec<SubframeReport>,
     /// Carrier activation / deactivation events.
     pub ca_events: Vec<CaEvent>,
+    /// Serving-cell handovers executed this subframe.
+    #[serde(default)]
+    pub handovers: Vec<HandoverEvent>,
 }
 
 /// The simulated radio access network.
@@ -59,14 +67,29 @@ pub struct NetworkTickReport {
 pub struct CellularNetwork {
     config: CellularConfig,
     cells: Vec<Cell>,
+    /// Cell position by id, for O(1) scratch-buffer addressing.
+    cell_index: HashMap<CellId, usize>,
     ues: HashMap<UeId, UserEquipment>,
-    ue_configs: HashMap<UeId, UeConfig>,
+    /// Registered UE ids in sorted order — the per-subframe iteration order,
+    /// cached so the tick does not rebuild and re-sort it.
+    ue_ids: Vec<UeId>,
     ca: CarrierAggregationManager,
+    handover: HandoverManager,
     packet_bytes: HashMap<u64, u32>,
     next_rnti: u16,
     rng: DetRng,
     /// Subframes ticked so far.
     pub subframes: u64,
+    /// Per-cell channel scratch (parallel to `cells`), reused every tick.
+    channel_scratch: Vec<HashMap<UeId, ChannelState>>,
+    /// RSRP measurement scratch for the A3 evaluation, reused per UE.
+    rsrp_scratch: Vec<(CellId, f64)>,
+    /// Handover decisions of the current measurement round.
+    pending_handovers: Vec<(UeId, CellId)>,
+    /// PRBs allocated per UE this subframe (CA bookkeeping scratch).
+    alloc_scratch: HashMap<UeId, u32>,
+    /// Packet-event scratch for UE outcome processing.
+    event_scratch: Vec<PacketEvent>,
 }
 
 impl CellularNetwork {
@@ -74,7 +97,7 @@ impl CellularNetwork {
     /// the given load profile.
     pub fn new(config: CellularConfig, load: CellLoadProfile, seed: u64) -> Self {
         let rng = DetRng::new(seed);
-        let cells = config
+        let cells: Vec<Cell> = config
             .cells
             .iter()
             .map(|c| {
@@ -87,16 +110,26 @@ impl CellularNetwork {
                 cell
             })
             .collect();
+        let cell_index = cells.iter().enumerate().map(|(i, c)| (c.id(), i)).collect();
+        let channel_scratch = cells.iter().map(|_| HashMap::new()).collect();
+        let handover = HandoverManager::new(config.handover);
         CellularNetwork {
             config,
             cells,
+            cell_index,
             ues: HashMap::new(),
-            ue_configs: HashMap::new(),
+            ue_ids: Vec::new(),
             ca: CarrierAggregationManager::new(),
+            handover,
             packet_bytes: HashMap::new(),
             next_rnti: 0x0100,
             rng,
             subframes: 0,
+            channel_scratch,
+            rsrp_scratch: Vec::new(),
+            pending_handovers: Vec::new(),
+            alloc_scratch: HashMap::new(),
+            event_scratch: Vec::new(),
         }
     }
 
@@ -113,7 +146,14 @@ impl CellularNetwork {
         &self.config
     }
 
+    /// The handover state machine (e.g. for filtered-RSRP diagnostics).
+    pub fn handover(&self) -> &HandoverManager {
+        &self.handover
+    }
+
     fn cell_mut(&mut self, id: CellId) -> Option<&mut Cell> {
+        // Linear scan: faster than hashing for the common 3-cell network and
+        // still fine at the 256-cell maximum a CellId can address.
         self.cells.iter_mut().find(|c| c.id() == id)
     }
 
@@ -123,7 +163,9 @@ impl CellularNetwork {
 
     /// Register a UE with the given mobility trace applied to all of its
     /// configured cells (secondary cells see the same large-scale trajectory
-    /// with a small fixed offset).  Returns the RNTI assigned to the UE.
+    /// with a small fixed offset; [`CellularNetwork::set_cell_trace`]
+    /// installs genuinely per-cell trajectories for handover scenarios).
+    /// Returns the RNTI assigned to the UE.
     pub fn add_ue(&mut self, ue_config: UeConfig, trace: MobilityTrace) -> Rnti {
         let rnti = Rnti(self.next_rnti);
         self.next_rnti += 1;
@@ -144,8 +186,7 @@ impl CellularNetwork {
             let model = ChannelModel::new(
                 shifted,
                 max_streams,
-                self.rng
-                    .split_indexed("chan", (u64::from(ue_config.id.0) << 8) | i as u64),
+                self.channel_rng(ue_config.id, i as u64),
             );
             channels.insert(*cell_id, model);
             if let Some(cell) = self.cell_mut(*cell_id) {
@@ -153,12 +194,42 @@ impl CellularNetwork {
             }
         }
         self.ca.register(ue_config.id);
-        self.ues.insert(
-            ue_config.id,
-            UserEquipment::new(ue_config.clone(), rnti, channels),
-        );
-        self.ue_configs.insert(ue_config.id, ue_config);
+        let id = ue_config.id;
+        self.ues
+            .insert(id, UserEquipment::new(ue_config, rnti, channels));
+        let pos = self.ue_ids.partition_point(|u| *u < id);
+        self.ue_ids.insert(pos, id);
         rnti
+    }
+
+    /// The deterministic random stream of one (UE, configured-cell-index)
+    /// channel — stable across trace overrides so a scenario that replaces a
+    /// trace keeps every other draw identical.
+    fn channel_rng(&self, ue: UeId, cell_position: u64) -> DetRng {
+        self.rng
+            .split_indexed("chan", (u64::from(ue.0) << 8) | cell_position)
+    }
+
+    /// Replace the mobility trace a UE sees towards one of its configured
+    /// cells (multi-cell trajectories: each cell's RSSI evolves
+    /// independently, which is what makes a handover scenario expressible).
+    /// No-op if the UE or cell is unknown.
+    pub fn set_cell_trace(&mut self, ue: UeId, cell: CellId, trace: MobilityTrace) {
+        let rng = {
+            let Some(u) = self.ues.get(&ue) else { return };
+            let Some(pos) = u.config().configured_cells.iter().position(|c| *c == cell) else {
+                return;
+            };
+            self.channel_rng(ue, pos as u64)
+        };
+        let max_streams = self
+            .config
+            .cell(cell)
+            .map(|c| c.max_spatial_streams)
+            .unwrap_or(2);
+        if let Some(u) = self.ues.get_mut(&ue) {
+            u.set_channel(cell, ChannelModel::new(trace, max_streams, rng));
+        }
     }
 
     /// The RNTI of a registered UE.
@@ -166,11 +237,24 @@ impl CellularNetwork {
         self.ues.get(&ue).map(|u| u.rnti())
     }
 
+    /// The current serving (primary) cell of a UE.
+    pub fn serving_cell(&self, ue: UeId) -> Option<CellId> {
+        self.ues.get(&ue).map(|u| u.config().primary_cell())
+    }
+
+    /// Number of currently active (aggregated) cells of a UE.
+    fn active_count(&self, ue_config: &UeConfig) -> usize {
+        self.ca
+            .active_cells(ue_config.id)
+            .min(ue_config.max_aggregated_cells)
+            .min(ue_config.configured_cells.len())
+    }
+
     /// Cells currently active (aggregated) for a UE.
     pub fn active_cells(&self, ue: UeId) -> Vec<CellId> {
-        self.ue_configs
+        self.ues
             .get(&ue)
-            .map(|cfg| self.ca.active_cell_ids(cfg))
+            .map(|u| self.ca.active_cell_ids(u.config()))
             .unwrap_or_default()
     }
 
@@ -181,10 +265,11 @@ impl CellularNetwork {
 
     /// Bits queued for a UE across its configured cells.
     pub fn queue_bits(&self, ue: UeId) -> u64 {
-        self.ue_configs
+        self.ues
             .get(&ue)
-            .map(|cfg| {
-                cfg.configured_cells
+            .map(|u| {
+                u.config()
+                    .configured_cells
                     .iter()
                     .filter_map(|c| self.cell(*c))
                     .map(|c| c.queue_bits(ue))
@@ -197,21 +282,21 @@ impl CellularNetwork {
     /// the active cell with the lowest queue-to-capacity ratio (the network's
     /// internal flow splitting across aggregated carriers).
     pub fn enqueue_packet(&mut self, ue: UeId, packet_id: u64, bytes: u32, now: Instant) {
-        let active = self.active_cells(ue);
-        if active.is_empty() {
-            return;
+        let Some(u) = self.ues.get(&ue) else { return };
+        let n = self.active_count(u.config());
+        let mut target: Option<(CellId, f64)> = None;
+        for cell_id in &u.config().configured_cells[..n] {
+            let cell = self.cell(*cell_id).expect("active cell exists");
+            let load = cell.queue_bits(ue) as f64 / f64::from(cell.config().total_prbs());
+            let better = match target {
+                None => true,
+                Some((_, best)) => load < best,
+            };
+            if better {
+                target = Some((*cell_id, load));
+            }
         }
-        let target = active
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                let load = |id: CellId| {
-                    let cell = self.cell(id).expect("active cell exists");
-                    cell.queue_bits(ue) as f64 / f64::from(cell.config().total_prbs())
-                };
-                load(*a).partial_cmp(&load(*b)).expect("finite loads")
-            })
-            .expect("at least one active cell");
+        let Some((target, _)) = target else { return };
         self.packet_bytes.insert(packet_id, bytes);
         if let Some(cell) = self.cell_mut(target) {
             cell.enqueue(
@@ -225,61 +310,114 @@ impl CellularNetwork {
         }
     }
 
-    /// Advance the whole radio access network by one subframe.
+    /// Advance the whole radio access network by one subframe, returning a
+    /// freshly allocated report (see [`CellularNetwork::tick_into`] for the
+    /// allocation-free variant drivers should prefer).
     pub fn tick(&mut self, now: Instant) -> NetworkTickReport {
+        let mut report = NetworkTickReport::default();
+        self.tick_into(now, &mut report);
+        report
+    }
+
+    /// Advance the whole radio access network by one subframe, writing into
+    /// a caller-owned report whose buffers are cleared and reused.
+    pub fn tick_into(&mut self, now: Instant, report: &mut NetworkTickReport) {
         let subframe = now.subframe_index();
         self.subframes += 1;
-        let mut report = NetworkTickReport {
-            subframe,
-            ..NetworkTickReport::default()
-        };
+        report.subframe = subframe;
+        report.deliveries.clear();
+        report.dci_messages.clear();
+        report.ca_events.clear();
+        report.handovers.clear();
+        for scratch in &mut self.channel_scratch {
+            scratch.clear();
+        }
 
-        // Sample channels: per cell, the set of UEs that are attached and
-        // currently have that cell active.  Sorted so scheduling, delivery
-        // and RNG-draw order are independent of hash-map iteration order —
-        // a run must be reproducible across processes, not just within one.
-        let mut ue_ids: Vec<UeId> = self.ues.keys().copied().collect();
-        ue_ids.sort_unstable();
-        let mut channels_per_cell: HashMap<CellId, HashMap<UeId, ChannelState>> = HashMap::new();
+        // --- Phase 1: channel sampling and A3 measurement. ------------------
+        // Per UE, sample every *active* cell (the data path needs its state)
+        // and, on measurement subframes, every configured cell (the A3
+        // ranking needs neighbours too).  Each (UE, cell) channel owns an
+        // independent random stream, so the extra measurement samples leave
+        // every other draw untouched.  `ue_ids` is sorted, which keeps
+        // scheduling, delivery and RNG-draw order reproducible across
+        // processes.
+        let measure = self.config.handover.enabled && self.handover.is_measurement_subframe(now);
+        let ue_ids = std::mem::take(&mut self.ue_ids);
+        let mut pending = std::mem::take(&mut self.pending_handovers);
+        pending.clear();
+        let mut rsrp = std::mem::take(&mut self.rsrp_scratch);
         for ue_id in &ue_ids {
-            let active = self.active_cells(*ue_id);
             let ue = self.ues.get_mut(ue_id).expect("ue exists");
-            for cell_id in active {
-                if let Some(state) = ue.sample_channel(cell_id, now) {
-                    channels_per_cell
-                        .entry(cell_id)
-                        .or_default()
-                        .insert(*ue_id, state);
+            let n_cells = ue.config().configured_cells.len();
+            let n_active = self
+                .ca
+                .active_cells(*ue_id)
+                .min(ue.config().max_aggregated_cells)
+                .min(n_cells);
+            let measure_ue = measure && n_cells > 1;
+            rsrp.clear();
+            for i in 0..n_cells {
+                let cell_id = ue.config().configured_cells[i];
+                let is_active = i < n_active;
+                if !is_active && !measure_ue {
+                    continue;
+                }
+                let Some(state) = ue.sample_channel(cell_id, now) else {
+                    continue;
+                };
+                if is_active {
+                    if let Some(&idx) = self.cell_index.get(&cell_id) {
+                        self.channel_scratch[idx].insert(*ue_id, state);
+                    }
+                }
+                if measure_ue {
+                    rsrp.push((cell_id, state.rsrp_dbm()));
+                }
+            }
+            if measure_ue {
+                let serving = ue.config().primary_cell();
+                if let Some(target) = self.handover.observe(*ue_id, serving, &rsrp, now) {
+                    pending.push((*ue_id, target));
                 }
             }
         }
+        self.rsrp_scratch = rsrp;
 
-        // Tick every cell and deliver its outcomes to the UEs.
-        let mut allocated_per_ue: HashMap<UeId, u32> = HashMap::new();
-        for cell in &mut self.cells {
-            let empty = HashMap::new();
-            let channels = channels_per_cell.get(&cell.id()).unwrap_or(&empty);
-            let cell_report = cell.tick(subframe, channels);
-            for dci in &cell_report.dci_messages {
-                report.dci_messages.push(*dci);
+        // --- Phase 2: execute handovers decided this measurement round. ----
+        for (ue_id, target) in pending.drain(..) {
+            let event = self.execute_handover(ue_id, target, now, &mut report.deliveries);
+            report.handovers.push(event);
+        }
+        self.pending_handovers = pending;
+
+        // --- Phase 3: tick every cell and deliver its outcomes to the UEs. --
+        if report.cell_reports.len() != self.cells.len() {
+            report.cell_reports = self
+                .cells
+                .iter()
+                .map(|_| SubframeReport::default())
+                .collect();
+        }
+        self.alloc_scratch.clear();
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            let cell_report = &mut report.cell_reports[i];
+            cell.tick_into(subframe, &self.channel_scratch[i], cell_report);
+            report
+                .dci_messages
+                .extend_from_slice(&cell_report.dci_messages);
+            for alloc in &cell_report.prb_usage.allocations {
+                if self.ues.contains_key(&alloc.ue) {
+                    *self.alloc_scratch.entry(alloc.ue).or_insert(0) += u32::from(alloc.num_prbs);
+                }
             }
-            for ue_id in &ue_ids {
-                let prbs = cell_report.prb_usage.allocated_to(*ue_id);
-                if prbs > 0 {
-                    *allocated_per_ue.entry(*ue_id).or_insert(0) += u32::from(prbs);
-                }
-                let own: Vec<_> = cell_report
-                    .outcomes
-                    .iter()
-                    .filter(|(owner, _)| owner == ue_id)
-                    .map(|(_, o)| o.clone())
-                    .collect();
-                if own.is_empty() {
+            let cell_id = cell.id();
+            for (owner, outcome) in &cell_report.outcomes {
+                let Some(ue) = self.ues.get_mut(owner) else {
                     continue;
-                }
-                let ue = self.ues.get_mut(ue_id).expect("ue exists");
-                let events = ue.process_outcomes(cell.id(), &own, now);
-                for e in events {
+                };
+                self.event_scratch.clear();
+                ue.process_outcome(cell_id, outcome, now, &mut self.event_scratch);
+                for e in &self.event_scratch {
                     let bytes = self.packet_bytes.remove(&e.packet_id).unwrap_or(0);
                     report.deliveries.push(Delivery {
                         ue: e.ue,
@@ -291,29 +429,132 @@ impl CellularNetwork {
                     });
                 }
             }
-            report.cell_reports.push(cell_report);
         }
 
-        // Drive carrier aggregation from this subframe's allocations.
+        // --- Phase 4: drive carrier aggregation from this subframe's
+        // allocations. --------------------------------------------------------
         for ue_id in &ue_ids {
-            let ue_config = self.ue_configs[ue_id].clone();
-            let active = self.ca.active_cell_ids(&ue_config);
+            let ue = self.ues.get(ue_id).expect("ue exists");
+            let n_active = self.active_count(ue.config());
+            let active = &ue.config().configured_cells[..n_active];
             let active_cell_prbs: u32 = active
                 .iter()
                 .filter_map(|c| self.config.cell(*c))
                 .map(|c| u32::from(c.total_prbs()))
                 .sum();
+            let queued_bits = self.queue_bits(*ue_id);
             let obs = CaObservation {
-                allocated_prbs: allocated_per_ue.get(ue_id).copied().unwrap_or(0),
+                allocated_prbs: self.alloc_scratch.get(ue_id).copied().unwrap_or(0),
                 active_cell_prbs,
-                queued_bits: self.queue_bits(*ue_id),
+                queued_bits,
             };
-            if let Some(event) = self.ca.observe(&self.config, &ue_config, obs, now) {
+            if let Some(event) = self.ca.observe(&self.config, ue.config(), obs, now) {
                 report.ca_events.push(event);
             }
         }
+        self.ue_ids = ue_ids;
+    }
 
-        report
+    /// Switch the serving cell of one UE: drain and forward everything the
+    /// old active cells still hold, flush the UE-side reordering buffers
+    /// (whose releases are appended to `deliveries`), collapse carrier
+    /// aggregation, and re-establish on the target cell.
+    fn execute_handover(
+        &mut self,
+        ue_id: UeId,
+        target: CellId,
+        now: Instant,
+        deliveries: &mut Vec<Delivery>,
+    ) -> HandoverEvent {
+        let (rnti, from, active): (Rnti, CellId, Vec<CellId>) = {
+            let ue = self.ues.get(&ue_id).expect("ue exists");
+            let n = self.active_count(ue.config());
+            (
+                ue.rnti(),
+                ue.config().primary_cell(),
+                ue.config().configured_cells[..n].to_vec(),
+            )
+        };
+
+        // Source side: take the queued + in-flight payload of every active
+        // cell (serving first), in order.
+        let mut forwarded: Vec<QueuedPacket> = Vec::new();
+        for cell_id in &active {
+            if let Some(cell) = self.cell_mut(*cell_id) {
+                forwarded.extend(cell.detach(ue_id, now));
+            }
+        }
+        // UE side: RLC re-establishment of every old cell — release what the
+        // reordering buffers hold (handover reordering is visible to the
+        // transport layer, exactly as over the air).  Packets whose final
+        // segment is released here are *complete* as far as the transport
+        // layer is concerned: their ids must not ride along in the forwarded
+        // data, or the target cell would regenerate a second final segment
+        // from the stale remainder and the packet would be delivered twice.
+        for cell_id in &active {
+            let ue = self.ues.get_mut(&ue_id).expect("ue exists");
+            let events = ue.flush_cell(*cell_id, now);
+            for e in &events {
+                let bytes = self.packet_bytes.remove(&e.packet_id).unwrap_or(0);
+                forwarded.retain(|p| p.id != e.packet_id);
+                deliveries.push(Delivery {
+                    ue: e.ue,
+                    packet_id: e.packet_id,
+                    bytes,
+                    at: e.at,
+                    delivered: e.delivered,
+                    cell: e.cell,
+                });
+            }
+        }
+
+        // Re-establish on the target: new serving cell first in the
+        // configured list, carrier aggregation collapsed, data forwarded.
+        // The UE re-attaches to *every* configured cell (fresh queues, HARQ
+        // entities and sequence spaces), not just the target — carrier
+        // aggregation may later re-activate one of the old cells as a
+        // secondary, and an unattached cell would silently black-hole the
+        // flow-split packets routed to it.
+        self.ues
+            .get_mut(&ue_id)
+            .expect("ue exists")
+            .promote_primary(target);
+        self.ca.reset(ue_id);
+        self.handover.note_handover(ue_id, now);
+        let configured = self.ues[&ue_id].config().configured_cells.clone();
+        for cell_id in configured {
+            if let Some(cell) = self.cell_mut(cell_id) {
+                cell.attach(ue_id, rnti);
+            }
+        }
+        if let Some(cell) = self.cell_mut(target) {
+            for pkt in forwarded {
+                cell.enqueue(ue_id, pkt);
+            }
+        }
+        // The target becomes the UE's only active cell this subframe: make
+        // its channel state available to the scheduler (re-sampling within
+        // the same subframe returns the cached fade, so this draws nothing
+        // new), and drop the now-inactive old cells from the scratch.
+        for cell_id in &active {
+            if let Some(&idx) = self.cell_index.get(cell_id) {
+                self.channel_scratch[idx].remove(&ue_id);
+            }
+        }
+        let state = self
+            .ues
+            .get_mut(&ue_id)
+            .expect("ue exists")
+            .sample_channel(target, now);
+        if let (Some(state), Some(&idx)) = (state, self.cell_index.get(&target)) {
+            self.channel_scratch[idx].insert(ue_id, state);
+        }
+        HandoverEvent {
+            ue: ue_id,
+            from,
+            to: target,
+            at: now,
+        }
     }
 
     /// Receive-side statistics of a UE: `(delivered, lost)` packet counts.
@@ -491,5 +732,232 @@ mod tests {
             allocated > 5_000,
             "background users occupied PRBs: {allocated}"
         );
+    }
+
+    #[test]
+    fn tick_into_reuses_buffers_and_matches_tick() {
+        let mut a = network(CellLoadProfile::none());
+        let mut b = network(CellLoadProfile::none());
+        add_default_ue(&mut a, 1);
+        add_default_ue(&mut b, 1);
+        let mut reused = NetworkTickReport::default();
+        for sf in 0..50u64 {
+            let now = Instant::from_millis(sf);
+            a.enqueue_packet(UeId(1), sf, 1500, now);
+            b.enqueue_packet(UeId(1), sf, 1500, now);
+            let fresh = a.tick(now);
+            b.tick_into(now, &mut reused);
+            assert_eq!(
+                serde_json::to_string(&fresh).unwrap(),
+                serde_json::to_string(&reused).unwrap(),
+                "subframe {sf}"
+            );
+        }
+    }
+
+    /// Two-cell setup where the UE walks from cell 0's coverage into
+    /// cell 1's: cell 0 fades −85 → −110 dBm while cell 1 rises −110 → −85.
+    fn crossing_network() -> (CellularNetwork, UeId) {
+        let mut config = CellularConfig::default();
+        config.handover.min_interval_ms = 500;
+        let mut net = CellularNetwork::new(config, CellLoadProfile::none(), 7);
+        let ue = UeId(1);
+        net.add_ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1)], 1, -85.0),
+            MobilityTrace::stationary(-85.0),
+        );
+        net.set_cell_trace(
+            ue,
+            CellId(0),
+            MobilityTrace::from_secs(&[(0.0, -85.0), (4.0, -110.0)]),
+        );
+        net.set_cell_trace(
+            ue,
+            CellId(1),
+            MobilityTrace::from_secs(&[(0.0, -110.0), (4.0, -85.0)]),
+        );
+        (net, ue)
+    }
+
+    #[test]
+    fn boundary_crossing_trace_triggers_handover() {
+        let (mut net, ue) = crossing_network();
+        assert_eq!(net.serving_cell(ue), Some(CellId(0)));
+        let mut pid = 0u64;
+        let mut handovers: Vec<HandoverEvent> = Vec::new();
+        let mut delivered_after = 0u64;
+        for sf in 0..6000u64 {
+            let now = Instant::from_millis(sf);
+            for _ in 0..4 {
+                net.enqueue_packet(ue, pid, 1500, now);
+                pid += 1;
+            }
+            let report = net.tick(now);
+            handovers.extend(report.handovers.iter().copied());
+            if !handovers.is_empty() {
+                delivered_after += report.deliveries.iter().filter(|d| d.delivered).count() as u64;
+            }
+        }
+        assert!(!handovers.is_empty(), "the crossing triggers a handover");
+        let first = handovers[0];
+        assert_eq!(first.ue, ue);
+        assert_eq!(first.from, CellId(0));
+        assert_eq!(first.to, CellId(1));
+        // The trigger should land around the RSRP crossing point (2 s into
+        // the walk), delayed by the L3 filter + TTT, not at the very end.
+        assert!(
+            (1_500..4_000).contains(&first.at.as_millis()),
+            "handover at {}",
+            first.at
+        );
+        assert_eq!(net.serving_cell(ue), Some(CellId(1)));
+        assert!(
+            delivered_after > 1_000,
+            "data keeps flowing on the target cell: {delivered_after}"
+        );
+    }
+
+    #[test]
+    fn handover_forwards_in_flight_data_without_mass_loss() {
+        let (mut net, ue) = crossing_network();
+        let mut pid = 0u64;
+        let mut delivered_ids: Vec<u64> = Vec::new();
+        for sf in 0..6000u64 {
+            let now = Instant::from_millis(sf);
+            for _ in 0..4 {
+                net.enqueue_packet(ue, pid, 1500, now);
+                pid += 1;
+            }
+            let report = net.tick(now);
+            delivered_ids.extend(
+                report
+                    .deliveries
+                    .iter()
+                    .filter(|d| d.delivered)
+                    .map(|d| d.packet_id),
+            );
+        }
+        // No packet is delivered twice — in particular not across the
+        // handover, where a flushed final segment and the forwarded HARQ
+        // remainder of the same packet could each produce one.
+        let total = delivered_ids.len();
+        delivered_ids.sort_unstable();
+        delivered_ids.dedup();
+        assert_eq!(total, delivered_ids.len(), "duplicate deliveries");
+        let (delivered, lost) = net.ue_stats(ue);
+        assert!(delivered > 20_000, "delivered {delivered}");
+        // The walk spends seconds at the −110 dBm cell edge, where HARQ
+        // exhaustion losses are expected; the handover itself must not add
+        // bulk loss on top (forwarding, not dropping, the in-flight data).
+        assert!(
+            (lost as f64) < 0.02 * delivered as f64,
+            "lost {lost} vs delivered {delivered}"
+        );
+    }
+
+    #[test]
+    fn carrier_aggregation_still_works_after_a_handover() {
+        // A CA-capable UE hands over, then offers more than the new serving
+        // cell can carry: the CA machinery must be able to re-activate the
+        // *old* serving cell as a secondary — which requires the handover to
+        // have re-attached the UE to every configured cell (an unattached
+        // cell would black-hole the flow-split packets).
+        let mut config = CellularConfig::default();
+        config.handover.min_interval_ms = 500;
+        config.ca_activation_subframes = 50;
+        let mut net = CellularNetwork::new(config, CellLoadProfile::none(), 7);
+        let ue = UeId(1);
+        net.add_ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1)], 2, -85.0),
+            MobilityTrace::stationary(-85.0),
+        );
+        // Cross from cell 0 to cell 1, then stay strong on both so the UE
+        // keeps decent rates on the re-activated secondary.
+        net.set_cell_trace(
+            ue,
+            CellId(0),
+            MobilityTrace::from_secs(&[(0.0, -85.0), (2.0, -100.0), (4.0, -88.0)]),
+        );
+        net.set_cell_trace(
+            ue,
+            CellId(1),
+            MobilityTrace::from_secs(&[(0.0, -100.0), (2.0, -85.0), (4.0, -85.0)]),
+        );
+        let mut pid = 0u64;
+        let mut handed_over = false;
+        let mut reaggregated = false;
+        let mut delivered_after_ca = 0u64;
+        for sf in 0..10_000u64 {
+            let now = Instant::from_millis(sf);
+            // Offer far more than one 20 MHz cell can carry.
+            for _ in 0..20 {
+                net.enqueue_packet(ue, pid, 1500, now);
+                pid += 1;
+            }
+            let report = net.tick(now);
+            handed_over |= !report.handovers.is_empty();
+            if handed_over && net.active_cells(ue).len() >= 2 {
+                reaggregated = true;
+            }
+            if reaggregated {
+                delivered_after_ca +=
+                    report.deliveries.iter().filter(|d| d.delivered).count() as u64;
+            }
+        }
+        assert!(handed_over, "the crossing hands over");
+        assert!(
+            reaggregated,
+            "carrier aggregation re-activates a secondary after the handover"
+        );
+        assert!(
+            delivered_after_ca > 1_000,
+            "packets keep flowing on the re-aggregated cells: {delivered_after_ca}"
+        );
+    }
+
+    #[test]
+    fn disabled_handover_keeps_the_serving_cell() {
+        let (mut net_ho, ue) = crossing_network();
+        let mut config = CellularConfig::default();
+        config.handover.enabled = false;
+        let mut net_static = CellularNetwork::new(config, CellLoadProfile::none(), 7);
+        net_static.add_ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1)], 1, -85.0),
+            MobilityTrace::stationary(-85.0),
+        );
+        net_static.set_cell_trace(
+            ue,
+            CellId(0),
+            MobilityTrace::from_secs(&[(0.0, -85.0), (4.0, -110.0)]),
+        );
+        net_static.set_cell_trace(
+            ue,
+            CellId(1),
+            MobilityTrace::from_secs(&[(0.0, -110.0), (4.0, -85.0)]),
+        );
+        for sf in 0..6000u64 {
+            let now = Instant::from_millis(sf);
+            net_ho.tick(now);
+            let report = net_static.tick(now);
+            assert!(report.handovers.is_empty());
+        }
+        assert_eq!(net_static.serving_cell(ue), Some(CellId(0)));
+        assert_eq!(net_ho.serving_cell(ue), Some(CellId(1)));
+    }
+
+    #[test]
+    fn stationary_ue_never_hands_over() {
+        let mut net = network(CellLoadProfile::none());
+        let ue = add_default_ue(&mut net, 3);
+        for sf in 0..10_000u64 {
+            let now = Instant::from_millis(sf);
+            net.enqueue_packet(ue, sf, 1500, now);
+            let report = net.tick(now);
+            assert!(
+                report.handovers.is_empty(),
+                "spurious handover at subframe {sf}"
+            );
+        }
+        assert_eq!(net.serving_cell(ue), Some(CellId(0)));
     }
 }

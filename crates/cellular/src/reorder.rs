@@ -80,6 +80,26 @@ impl ReorderBuffer {
         Vec::new()
     }
 
+    /// Release everything still buffered, in sequence order regardless of
+    /// gaps, and reset the buffer to expect sequence 0 again.
+    ///
+    /// This is the RLC re-establishment a handover performs: blocks held
+    /// behind a gap are flushed to upper layers (their gaps are forwarded to
+    /// the target cell instead of retransmitted here), and the target cell
+    /// starts a fresh sequence space.
+    pub fn flush(&mut self, now: Instant) -> Vec<ReleasedBlock> {
+        let mut released = Vec::with_capacity(self.buffered.len());
+        for (_, (block, received_at)) in std::mem::take(&mut self.buffered) {
+            released.push(ReleasedBlock {
+                block,
+                received_at,
+                released_at: now.max(received_at),
+            });
+        }
+        self.next_expected = 0;
+        released
+    }
+
     fn release_in_order(&mut self, now: Instant) -> Vec<ReleasedBlock> {
         let mut released = Vec::new();
         while let Some((block, received_at)) = self.buffered.remove(&self.next_expected) {

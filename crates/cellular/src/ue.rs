@@ -98,84 +98,111 @@ impl UserEquipment {
         now: Instant,
     ) -> Vec<PacketEvent> {
         let mut events = Vec::new();
-        let reorder = self.reorder.entry(cell).or_default();
         for outcome in outcomes {
-            if outcome.success {
-                let released = reorder.on_block_received(outcome.block.clone(), now);
-                for r in released {
-                    for seg in &r.block.segments {
-                        if seg.is_last {
-                            if self.lost_packets.remove(&seg.packet_id).is_some() {
-                                // A block of this packet was dropped earlier;
-                                // the packet as a whole is incomplete.
-                                self.packets_lost += 1;
-                                events.push(PacketEvent {
-                                    ue: self.config.id,
-                                    packet_id: seg.packet_id,
-                                    at: r.released_at,
-                                    delivered: false,
-                                    cell,
-                                });
-                            } else {
-                                self.packets_delivered += 1;
-                                events.push(PacketEvent {
-                                    ue: self.config.id,
-                                    packet_id: seg.packet_id,
-                                    at: r.released_at,
-                                    delivered: true,
-                                    cell,
-                                });
-                            }
-                        }
-                    }
-                }
-            } else if outcome.dropped {
-                // Mark every packet with bytes in the dropped block as lost;
-                // the loss event is emitted when (and if) the packet's final
-                // segment is released, or immediately if this block carried
-                // the final segment.
-                for seg in &outcome.block.segments {
-                    self.lost_packets.insert(seg.packet_id, true);
-                }
-                let released = reorder.on_block_abandoned(outcome.block.sequence, now);
-                for r in released {
-                    for seg in &r.block.segments {
-                        if seg.is_last {
-                            let lost = self.lost_packets.remove(&seg.packet_id).is_some();
-                            if lost {
-                                self.packets_lost += 1;
-                            } else {
-                                self.packets_delivered += 1;
-                            }
-                            events.push(PacketEvent {
-                                ue: self.config.id,
-                                packet_id: seg.packet_id,
-                                at: r.released_at,
-                                delivered: !lost,
-                                cell,
-                            });
-                        }
-                    }
-                }
-                // If the dropped block itself carried a final segment, that
-                // packet will never be completed: report the loss now.
-                for seg in &outcome.block.segments {
-                    if seg.is_last && self.lost_packets.remove(&seg.packet_id).is_some() {
-                        self.packets_lost += 1;
-                        events.push(PacketEvent {
-                            ue: self.config.id,
-                            packet_id: seg.packet_id,
-                            at: now,
-                            delivered: false,
-                            cell,
-                        });
-                    }
-                }
-            }
-            // A failed-but-not-dropped outcome simply waits for its
-            // retransmission; nothing to deliver yet.
+            self.process_outcome(cell, outcome, now, &mut events);
         }
         events
+    }
+
+    /// Process one HARQ outcome, appending the packet-level events it
+    /// produces to `events` (the allocation-free hot-loop entry point).
+    pub fn process_outcome(
+        &mut self,
+        cell: CellId,
+        outcome: &HarqOutcome,
+        now: Instant,
+        events: &mut Vec<PacketEvent>,
+    ) {
+        if outcome.success {
+            let released = self
+                .reorder
+                .entry(cell)
+                .or_default()
+                .on_block_received(outcome.block.clone(), now);
+            self.emit_released(cell, &released, events);
+        } else if outcome.dropped {
+            // Mark every packet with bytes in the dropped block as lost;
+            // the loss event is emitted when (and if) the packet's final
+            // segment is released, or immediately if this block carried
+            // the final segment.
+            for seg in &outcome.block.segments {
+                self.lost_packets.insert(seg.packet_id, true);
+            }
+            let released = self
+                .reorder
+                .entry(cell)
+                .or_default()
+                .on_block_abandoned(outcome.block.sequence, now);
+            self.emit_released(cell, &released, events);
+            // If the dropped block itself carried a final segment, that
+            // packet will never be completed: report the loss now.
+            for seg in &outcome.block.segments {
+                if seg.is_last && self.lost_packets.remove(&seg.packet_id).is_some() {
+                    self.packets_lost += 1;
+                    events.push(PacketEvent {
+                        ue: self.config.id,
+                        packet_id: seg.packet_id,
+                        at: now,
+                        delivered: false,
+                        cell,
+                    });
+                }
+            }
+        }
+        // A failed-but-not-dropped outcome simply waits for its
+        // retransmission; nothing to deliver yet.
+    }
+
+    /// Emit the packet events of a run of in-order released blocks: one
+    /// event per final segment, lost if an earlier block of the packet was
+    /// dropped.
+    fn emit_released(
+        &mut self,
+        cell: CellId,
+        released: &[crate::reorder::ReleasedBlock],
+        events: &mut Vec<PacketEvent>,
+    ) {
+        for r in released {
+            for seg in &r.block.segments {
+                if seg.is_last {
+                    let lost = self.lost_packets.remove(&seg.packet_id).is_some();
+                    if lost {
+                        self.packets_lost += 1;
+                    } else {
+                        self.packets_delivered += 1;
+                    }
+                    events.push(PacketEvent {
+                        ue: self.config.id,
+                        packet_id: seg.packet_id,
+                        at: r.released_at,
+                        delivered: !lost,
+                        cell,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Handover bookkeeping: flush the reordering buffer of one cell (the
+    /// RLC re-establishment), releasing everything it holds regardless of
+    /// gaps and resetting its sequence space to 0.  Returns the packet
+    /// events of the flushed blocks.
+    pub fn flush_cell(&mut self, cell: CellId, now: Instant) -> Vec<PacketEvent> {
+        let mut events = Vec::new();
+        let released = self.reorder.entry(cell).or_default().flush(now);
+        self.emit_released(cell, &released, &mut events);
+        events
+    }
+
+    /// Make `cell` the UE's serving (primary) cell, moving it to the front
+    /// of the configured-cell list.  The previous serving cell becomes the
+    /// first secondary candidate.  No-op if the cell is not configured.
+    pub fn promote_primary(&mut self, cell: CellId) {
+        let Some(pos) = self.config.configured_cells.iter().position(|c| *c == cell) else {
+            return;
+        };
+        self.config.configured_cells.remove(pos);
+        self.config.configured_cells.insert(0, cell);
     }
 
     /// Number of transport blocks currently buffered out of order across all

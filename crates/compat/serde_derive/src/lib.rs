@@ -19,6 +19,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct Variant {
@@ -57,9 +58,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // Parsing
 // ---------------------------------------------------------------------------
 
-/// Skip leading attributes; report whether any was `#[serde(skip)]`.
-fn skip_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+/// Skip leading attributes; report whether any was `#[serde(skip)]` or
+/// `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool, bool) {
     let mut skip = false;
+    let mut default = false;
     while matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(pos + 1) {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
@@ -70,13 +73,16 @@ fn skip_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
                         if text.split(',').any(|a| a.trim() == "skip") {
                             skip = true;
                         }
+                        if text.split(',').any(|a| a.trim() == "default") {
+                            default = true;
+                        }
                     }
                 }
             }
         }
         pos += 2;
     }
-    (pos, skip)
+    (pos, skip, default)
 }
 
 /// Skip a `pub` / `pub(...)` visibility qualifier.
@@ -93,7 +99,7 @@ fn skip_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
 
 fn parse(input: TokenStream) -> Input {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let (mut pos, _) = skip_attrs(&tokens, 0);
+    let (mut pos, _, _) = skip_attrs(&tokens, 0);
     pos = skip_vis(&tokens, pos);
 
     let kind = match &tokens[pos] {
@@ -136,7 +142,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        let (next, skip) = skip_attrs(&tokens, pos);
+        let (next, skip, default) = skip_attrs(&tokens, pos);
         pos = skip_vis(&tokens, next);
         let name = match &tokens[pos] {
             TokenTree::Ident(id) => id.to_string(),
@@ -164,7 +170,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             }
             pos += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -202,7 +212,7 @@ fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut pos = 0;
     while pos < tokens.len() {
-        let (next, _) = skip_attrs(&tokens, pos);
+        let (next, _, _) = skip_attrs(&tokens, pos);
         pos = next;
         let name = match &tokens[pos] {
             TokenTree::Ident(id) => id.to_string(),
@@ -297,6 +307,11 @@ fn gen_deserialize(item: &Input) -> String {
                 if f.skip {
                     inits.push_str(&format!(
                         "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::field_or_default(__obj, \"{0}\")?,\n",
                         f.name
                     ));
                 } else {

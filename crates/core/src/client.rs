@@ -89,8 +89,13 @@ pub struct PbeClient {
     last_ct: f64,
     /// Latest fair-share transport-layer capacity (bits per subframe).
     last_cf_t: f64,
+    /// True while the estimates are held at their pre-handover values
+    /// because the re-targeted monitor's window is still (nearly) empty.
+    estimate_hold: bool,
     /// Number of state switches (diagnostics).
     pub state_switches: u64,
+    /// Number of serving-cell handovers ridden through (diagnostics).
+    pub handovers: u64,
 }
 
 impl PbeClient {
@@ -118,7 +123,9 @@ impl PbeClient {
             },
             last_ct: 0.0,
             last_cf_t: 0.0,
+            estimate_hold: false,
             state_switches: 0,
+            handovers: 0,
         }
     }
 
@@ -147,6 +154,28 @@ impl PbeClient {
     /// Start tracking a newly activated secondary cell.
     pub fn add_cell(&mut self, cell: CellId, total_prbs: u16) {
         self.monitor.add_cell(cell, total_prbs);
+    }
+
+    /// The serving cell changed: re-target the monitor onto the new cell and
+    /// hold the current capacity estimates until its window carries real
+    /// measurements.
+    ///
+    /// A freshly re-targeted monitor has an *empty* window, whose snapshot
+    /// reads as a fully idle cell — feeding that into the capacity
+    /// translation would spike the estimate to the whole cell's bandwidth
+    /// at the worst possible moment.  Instead the client rides through on
+    /// its pre-handover estimate and resumes once the new window holds a
+    /// few genuine subframes (the re-acquisition gap itself produces no
+    /// fused subframes, so the hold spans gap + fill).
+    pub fn on_handover(&mut self, cell: CellId, total_prbs: u16) {
+        self.monitor.handover_to(cell, total_prbs);
+        self.estimate_hold = true;
+        self.handovers += 1;
+    }
+
+    /// True while the client is holding pre-handover estimates.
+    pub fn is_holding_estimates(&self) -> bool {
+        self.estimate_hold
     }
 
     /// Stop tracking a deactivated secondary cell.
@@ -191,6 +220,17 @@ impl PbeClient {
     /// refresh the capacity estimates.
     pub fn on_subframe(&mut self, fused: &FusedSubframe) {
         self.monitor.ingest(fused);
+        if self.estimate_hold {
+            // Post-handover: keep the pre-handover estimates until the new
+            // serving cell's window holds enough real subframes to average.
+            let primary = self.monitor.config().cells.first().map(|(c, _)| *c);
+            let filled = primary.map(|c| self.monitor.window_len(c)).unwrap_or(0);
+            let need = self.monitor.config().window_subframes.clamp(1, 8);
+            if filled < need {
+                return;
+            }
+            self.estimate_hold = false;
+        }
         let snapshots = self.monitor.snapshots();
         self.last_estimate = self.estimator.estimate(&snapshots);
         // Use the measured retransmission fraction when available (it already
@@ -467,6 +507,51 @@ mod tests {
         assert!(fb.internet_bottleneck);
         // The feedback capacity equals the fair-share rate in this state.
         assert!((fb.capacity_bps() - fb.fair_share_rate_bps).abs() / fb.fair_share_rate_bps < 0.02);
+    }
+
+    #[test]
+    fn handover_holds_estimates_until_the_new_window_fills() {
+        let mut c = client();
+        for sf in 0..40u64 {
+            c.on_subframe(&fused(sf, vec![dci(OWN, 20, sf)]));
+        }
+        let before = c.transport_capacity_bps();
+        assert!(before > 50e6);
+        c.on_handover(CellId(1), 50);
+        assert!(c.is_holding_estimates());
+        assert_eq!(c.handovers, 1);
+        // The held estimate rides through even while nothing is ingested
+        // (the re-acquisition gap).
+        assert_eq!(c.transport_capacity_bps(), before);
+        // The new cell is busy: our 10 PRBs plus a competitor's 40 on a
+        // 50-PRB cell.  Feed fused subframes from the new serving cell; the
+        // hold releases only once 8 real subframes are in the window —
+        // and the refreshed estimate reflects the *new* cell, not a
+        // spurious fully-idle one.
+        for sf in 100..108u64 {
+            let mut per_cell = HashMap::new();
+            let mut own = dci(OWN, 10, sf);
+            own.cell = CellId(1);
+            let mut other = dci(OTHER, 40, sf);
+            other.cell = CellId(1);
+            per_cell.insert(CellId(1), vec![own, other]);
+            if sf < 107 {
+                assert!(c.is_holding_estimates(), "holding at subframe {sf}");
+            }
+            c.on_subframe(&FusedSubframe {
+                subframe: sf,
+                per_cell,
+            });
+        }
+        assert!(!c.is_holding_estimates());
+        let after = c.capacity();
+        // Available capacity on the new cell: own 10 PRBs, none idle.
+        assert!(
+            (after.available_bits_per_subframe - 10.0 * 1200.0).abs() < 1e-6,
+            "available {}",
+            after.available_bits_per_subframe
+        );
+        assert!(c.transport_capacity_bps() < before);
     }
 
     #[test]

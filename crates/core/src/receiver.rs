@@ -18,6 +18,7 @@ use pbe_cc_algorithms::api::PbeFeedback;
 use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::config::{CellId, Rnti};
 use pbe_cellular::dci::DciMessage;
+use pbe_cellular::handover::HandoverEvent;
 use pbe_pdcch::decoder::{ControlChannelDecoder, DecoderConfig};
 use pbe_pdcch::fusion::MessageFusion;
 use pbe_stats::time::Instant;
@@ -32,6 +33,18 @@ pub trait ReceiverAgent: Send {
     /// A carrier was activated or deactivated for this flow's UE.
     /// `total_prbs` is the PRB count of the affected cell.
     fn on_carrier_event(&mut self, _event: &CaEvent, _total_prbs: u16) {}
+
+    /// The UE's serving cell changed.  `target_total_prbs` is the PRB count
+    /// of the new serving cell; `reacquisition_gap_subframes` is how long
+    /// the receiver's radio needs to re-synchronise onto the target cell's
+    /// control channel before it can decode again.
+    fn on_handover(
+        &mut self,
+        _event: &HandoverEvent,
+        _target_total_prbs: u16,
+        _reacquisition_gap_subframes: u64,
+    ) {
+    }
 
     /// One subframe elapsed; `dci_messages` is everything transmitted on the
     /// PDCCHs of the network this subframe.
@@ -136,9 +149,36 @@ impl ReceiverAgent for PbeReceiverAgent {
         self.fusion.set_watched_cells(cells);
     }
 
+    fn on_handover(
+        &mut self,
+        event: &HandoverEvent,
+        target_total_prbs: u16,
+        reacquisition_gap_subframes: u64,
+    ) {
+        // One decoder, freshly re-tuning onto the target cell: everything
+        // transmitted during the re-acquisition gap is invisible.
+        self.decoders.clear();
+        let mut decoder = Self::decoder(event.to, target_total_prbs, self.flow, &self.rng);
+        decoder.set_resync_until(event.at.subframe_index() + reacquisition_gap_subframes);
+        self.decoders.insert(event.to, decoder);
+        // Fresh fusion stage (the old one waits on cells we stopped
+        // watching) and a re-targeted monitor whose estimates are held until
+        // the new cell's window carries real data.
+        self.fusion = MessageFusion::new(vec![event.to]);
+        self.client.on_handover(event.to, target_total_prbs);
+    }
+
     fn on_subframe(&mut self, subframe: u64, dci_messages: &[DciMessage]) {
         let mut fused_ready = Vec::new();
         for (cell, decoder) in self.decoders.iter_mut() {
+            if decoder.is_resynchronising(subframe) {
+                // Feed nothing into fusion during the re-acquisition gap: a
+                // blind decoder's "empty subframe" is absence of telemetry,
+                // not evidence of an idle cell, and must not enter the
+                // monitor's averaging window.
+                decoder.decode_subframe(subframe, dci_messages);
+                continue;
+            }
             let decoded = decoder.decode_subframe(subframe, dci_messages);
             fused_ready.extend(self.fusion.ingest(*cell, subframe, decoded));
         }
@@ -206,6 +246,59 @@ mod tests {
             .expect("PBE annotates every ACK");
         assert!(fb.capacity_bps() > 1e6, "capacity {}", fb.capacity_bps());
         assert!(!fb.internet_bottleneck);
+    }
+
+    #[test]
+    fn handover_swaps_the_pipeline_and_rides_through_the_gap() {
+        let mut agent = PbeReceiverAgent::new(&ctx());
+        for sf in 0..60u64 {
+            agent.on_subframe(sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
+        }
+        let before = agent
+            .on_packet(Instant::from_millis(60), 21.0)
+            .expect("feedback")
+            .capacity_bps();
+        let event = HandoverEvent {
+            ue: pbe_cellular::config::UeId(1),
+            from: CellId(0),
+            to: CellId(1),
+            at: Instant::from_millis(61),
+        };
+        agent.on_handover(&event, 50, 40);
+        assert_eq!(
+            agent.decoders.keys().copied().collect::<Vec<_>>(),
+            vec![CellId(1)]
+        );
+        assert_eq!(agent.client().monitor().cells(), vec![CellId(1)]);
+        // During the re-acquisition gap (subframes 61..101) the monitor sees
+        // nothing and feedback rides on the pre-handover estimate.
+        for sf in 61..101u64 {
+            agent.on_subframe(sf, &[dci(CellId(1), Rnti(0x0100), 40, sf)]);
+        }
+        let during = agent
+            .on_packet(Instant::from_millis(100), 21.0)
+            .expect("feedback")
+            .capacity_bps();
+        assert!(agent.client().is_holding_estimates());
+        assert!(
+            (during - before).abs() / before < 1e-9,
+            "estimate held through the gap: {before} vs {during}"
+        );
+        // After the gap the new cell's grants flow again and the estimate
+        // re-converges (40 of 50 PRBs to us, rest idle => full small cell).
+        for sf in 101..160u64 {
+            agent.on_subframe(sf, &[dci(CellId(1), Rnti(0x0100), 40, sf)]);
+        }
+        assert!(!agent.client().is_holding_estimates());
+        let after = agent
+            .on_packet(Instant::from_millis(160), 21.0)
+            .expect("feedback")
+            .capacity_bps();
+        // The 50-PRB target cell carries roughly half the 100-PRB source's
+        // capacity: the estimate moved to the new cell's reality instead of
+        // spiking to something unrelated.
+        assert!(after < 0.7 * before, "after {after} vs before {before}");
+        assert!(after > 20e6, "after {after}");
     }
 
     #[test]

@@ -29,11 +29,11 @@
 use crate::flow::FlowConfig;
 use crate::observer::Observer;
 use crate::scheme::SchemeTable;
-use crate::sim::{SimConfig, SimResult, Simulation};
+use crate::sim::{CellTrajectory, SimConfig, SimResult, Simulation};
 use pbe_cc_algorithms::registry::{SchemeCtx, SchemeId};
 use pbe_cc_algorithms::CongestionControl;
 use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellularConfig, UeConfig};
+use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
 use pbe_core::receiver::ReceiverFactory;
 use pbe_stats::time::Duration;
@@ -46,6 +46,7 @@ pub struct SimBuilder {
     duration: Duration,
     ues: Vec<(UeConfig, MobilityTrace)>,
     flows: Vec<FlowConfig>,
+    trajectories: Vec<CellTrajectory>,
     table: SchemeTable,
     observers: Vec<Box<dyn Observer>>,
 }
@@ -67,6 +68,7 @@ impl SimBuilder {
             duration: Duration::from_secs(10),
             ues: Vec::new(),
             flows: Vec::new(),
+            trajectories: Vec::new(),
             table: SchemeTable::standard(),
             observers: Vec::new(),
         }
@@ -82,6 +84,7 @@ impl SimBuilder {
             duration: config.duration,
             ues: config.ues,
             flows: config.flows,
+            trajectories: config.trajectories,
             table: SchemeTable::standard(),
             observers: Vec::new(),
         }
@@ -109,6 +112,15 @@ impl SimBuilder {
     /// Add a mobile device with its mobility trace.
     pub fn ue(mut self, config: UeConfig, trace: MobilityTrace) -> Self {
         self.ues.push((config, trace));
+        self
+    }
+
+    /// Override the RSSI trajectory a UE sees towards one of its configured
+    /// cells.  With one override per cell, the cells strengthen and fade
+    /// independently as the device moves — a multi-cell trajectory, the
+    /// input of every handover scenario.
+    pub fn trajectory(mut self, ue: UeId, cell: CellId, trace: MobilityTrace) -> Self {
+        self.trajectories.push(CellTrajectory { ue, cell, trace });
         self
     }
 
@@ -157,6 +169,7 @@ impl SimBuilder {
             duration: self.duration,
             ues: self.ues.clone(),
             flows: self.flows.clone(),
+            trajectories: self.trajectories.clone(),
         }
     }
 
@@ -169,6 +182,7 @@ impl SimBuilder {
             duration: self.duration,
             ues: self.ues,
             flows: self.flows,
+            trajectories: self.trajectories,
         };
         Simulation::with_parts(config, self.table, self.observers)
     }

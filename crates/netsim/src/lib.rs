@@ -72,8 +72,9 @@ pub mod wired;
 pub use builder::SimBuilder;
 pub use flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
 pub use observer::{Observer, SimEvent};
+pub use pbe_cellular::handover::HandoverEvent;
 pub use pbe_core::receiver::{NullReceiverAgent, ReceiverAgent, ReceiverCtx, ReceiverFactory};
 pub use rate::DeliveryRateEstimator;
 pub use scheme::{SchemeTable, FIXED_SCHEME_ID};
-pub use sim::{PrbInterval, SimConfig, SimResult, Simulation};
+pub use sim::{CellTrajectory, PrbInterval, SimConfig, SimResult, Simulation};
 pub use wired::WiredPath;

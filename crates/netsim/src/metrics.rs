@@ -12,6 +12,7 @@ use crate::observer::{Observer, SimEvent};
 use crate::sim::{PrbInterval, SimResult};
 use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::config::{CellId, UeId};
+use pbe_cellular::handover::HandoverEvent;
 use pbe_stats::summary::FlowSummaryBuilder;
 use std::collections::HashMap;
 
@@ -33,6 +34,7 @@ pub struct MetricsCollector {
     flow_of_ue: HashMap<UeId, u32>,
     primary_cell: CellId,
     ca_events: Vec<CaEvent>,
+    handovers: Vec<HandoverEvent>,
     prb_timeline: Vec<PrbInterval>,
     prb_accum: HashMap<u32, f64>,
     prb_accum_start_ms: u64,
@@ -64,6 +66,7 @@ impl MetricsCollector {
             flow_of_ue,
             primary_cell,
             ca_events: Vec::new(),
+            handovers: Vec::new(),
             prb_timeline: Vec::new(),
             prb_accum: HashMap::new(),
             prb_accum_start_ms: 0,
@@ -96,6 +99,7 @@ impl MetricsCollector {
             flows,
             primary_prb_timeline: self.prb_timeline,
             ca_events: self.ca_events,
+            handovers: self.handovers,
         }
     }
 }
@@ -146,6 +150,12 @@ impl Observer for MetricsCollector {
                 }
             }
             SimEvent::CaTriggered { event } => self.ca_events.push(*event),
+            SimEvent::Handover { at, ue, from, to } => self.handovers.push(HandoverEvent {
+                ue: *ue,
+                from: *from,
+                to: *to,
+                at: *at,
+            }),
             SimEvent::FlowClosed {
                 flow,
                 internet_bottleneck_fraction,

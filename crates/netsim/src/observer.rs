@@ -11,6 +11,7 @@
 
 use pbe_cc_algorithms::api::{AckInfo, PbeFeedback};
 use pbe_cellular::carrier::CaEvent;
+use pbe_cellular::config::{CellId, UeId};
 use pbe_cellular::network::NetworkTickReport;
 use pbe_stats::time::{Duration, Instant};
 
@@ -29,6 +30,19 @@ pub enum SimEvent<'a> {
     CaTriggered {
         /// The carrier-aggregation event.
         event: CaEvent,
+    },
+    /// A UE's serving cell changed (A3 reselection fired): queued and
+    /// in-flight data was forwarded to the target cell and the endpoint's
+    /// monitor began re-synchronising onto its control channel.
+    Handover {
+        /// When the switch took effect.
+        at: Instant,
+        /// The device that changed cells.
+        ue: UeId,
+        /// The old serving cell.
+        from: CellId,
+        /// The new serving cell.
+        to: CellId,
     },
     /// The sender of a flow processed one acknowledgement (after the
     /// congestion controller saw it).

@@ -20,7 +20,8 @@ use pbe_cc_algorithms::registry::SchemeCtx;
 use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
-use pbe_cellular::network::CellularNetwork;
+use pbe_cellular::handover::HandoverEvent;
+use pbe_cellular::network::{CellularNetwork, NetworkTickReport};
 use pbe_cellular::traffic::CellLoadProfile;
 use pbe_core::receiver::{ReceiverAgent, ReceiverCtx};
 use pbe_stats::time::{Duration, Instant};
@@ -43,6 +44,24 @@ pub struct SimConfig {
     pub ues: Vec<(UeConfig, MobilityTrace)>,
     /// End-to-end flows.
     pub flows: Vec<FlowConfig>,
+    /// Per-cell trajectory overrides for multi-cell mobility: each entry
+    /// replaces the RSSI trace one UE sees towards one of its configured
+    /// cells, so different cells can strengthen and fade independently —
+    /// the prerequisite for any handover scenario.  `default` keeps
+    /// pre-handover scenario JSON loadable.
+    #[serde(default)]
+    pub trajectories: Vec<CellTrajectory>,
+}
+
+/// One per-cell trajectory override of [`SimConfig::trajectories`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellTrajectory {
+    /// The device the override applies to.
+    pub ue: UeId,
+    /// The configured cell whose trace is replaced.
+    pub cell: CellId,
+    /// The RSSI-versus-time trajectory towards that cell.
+    pub trace: MobilityTrace,
 }
 
 impl SimConfig {
@@ -64,6 +83,7 @@ impl SimConfig {
                 MobilityTrace::stationary(-85.0),
             )],
             flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
+            trajectories: Vec::new(),
         }
     }
 }
@@ -103,6 +123,9 @@ pub struct SimResult {
     pub primary_prb_timeline: Vec<PrbInterval>,
     /// Carrier aggregation events that occurred.
     pub ca_events: Vec<CaEvent>,
+    /// Serving-cell handovers that occurred.
+    #[serde(default)]
+    pub handovers: Vec<HandoverEvent>,
 }
 
 impl SimResult {
@@ -122,8 +145,8 @@ struct PendingEvent {
     lost: bool,
 }
 
-struct FlowState {
-    config: FlowConfig,
+struct FlowState<'a> {
+    config: &'a FlowConfig,
     cc: Option<Box<dyn CongestionControl>>,
     receiver: Box<dyn ReceiverAgent>,
     /// Last bottleneck-state flag fed back, for `StateChanged` events.
@@ -184,9 +207,13 @@ impl Simulation {
 
     /// Run the simulation to completion and produce the per-flow results.
     pub fn run(&mut self) -> SimResult {
-        let cfg = &self.config;
-        let table = &self.table;
-        let observers = &mut self.observers;
+        // Split borrows: flow state borrows the configuration for the whole
+        // run while the observer list stays mutably emittable.
+        let Simulation {
+            config: cfg,
+            table,
+            observers,
+        } = self;
         let primary_cell = cfg
             .cellular
             .cells
@@ -199,11 +226,14 @@ impl Simulation {
         for (ue_cfg, trace) in &cfg.ues {
             net.add_ue(ue_cfg.clone(), trace.clone());
         }
+        for t in &cfg.trajectories {
+            net.set_cell_trace(t.ue, t.cell, t.trace.clone());
+        }
         let decoder_rng = DetRng::new(cfg.seed).split("decoders");
 
         // Build per-flow state: congestion controller and receiver agent both
         // come from the scheme table — the engine knows no scheme by name.
-        let mut flows: Vec<FlowState> = cfg
+        let mut flows: Vec<FlowState<'_>> = cfg
             .flows
             .iter()
             .map(|f| {
@@ -257,7 +287,7 @@ impl Simulation {
                     rate_est: DeliveryRateEstimator::new(rtprop_hint),
                     srtt: rtprop_hint,
                     pending: VecDeque::new(),
-                    config: f.clone(),
+                    config: f,
                 }
             })
             .collect();
@@ -265,6 +295,10 @@ impl Simulation {
         let mut packet_owner: HashMap<u64, usize> = HashMap::new();
         let mut next_packet_id: u64 = 1;
 
+        // One report, reused across every subframe: its buffers are cleared
+        // and refilled in place, so the per-subframe loop stops allocating
+        // once they reach their working size.
+        let mut report = NetworkTickReport::default();
         let total_ms = cfg.duration.as_millis();
         for t_ms in 0..total_ms {
             let now = Instant::from_millis(t_ms);
@@ -386,7 +420,7 @@ impl Simulation {
             }
 
             // 4. The radio access network advances one subframe.
-            let report = net.tick(now);
+            net.tick_into(now, &mut report);
             emit(
                 observers,
                 &mut metrics,
@@ -402,8 +436,21 @@ impl Simulation {
                     SimEvent::CaTriggered { event: *event },
                 );
             }
+            for event in &report.handovers {
+                emit(
+                    observers,
+                    &mut metrics,
+                    SimEvent::Handover {
+                        at: event.at,
+                        ue: event.ue,
+                        from: event.from,
+                        to: event.to,
+                    },
+                );
+            }
 
-            // 5. Carrier events reach the receiver agents of affected flows.
+            // 5. Carrier and handover events reach the receiver agents of
+            //    affected flows.
             for event in &report.ca_events {
                 let total_prbs = cfg
                     .cellular
@@ -413,6 +460,19 @@ impl Simulation {
                 for flow in flows.iter_mut() {
                     if flow.config.ue == event.ue {
                         flow.receiver.on_carrier_event(event, total_prbs);
+                    }
+                }
+            }
+            for event in &report.handovers {
+                let total_prbs = cfg
+                    .cellular
+                    .cell(event.to)
+                    .map(|c| c.total_prbs())
+                    .unwrap_or(50);
+                let gap = cfg.cellular.handover.reacquisition_gap_ms;
+                for flow in flows.iter_mut() {
+                    if flow.config.ue == event.ue {
+                        flow.receiver.on_handover(event, total_prbs, gap);
                     }
                 }
             }
@@ -637,6 +697,7 @@ mod tests {
                 FlowConfig::bulk(1, ue_a, SchemeChoice::Pbe, duration),
                 FlowConfig::bulk(2, ue_b, SchemeChoice::Pbe, duration),
             ],
+            trajectories: Vec::new(),
         };
         let result = Simulation::new(cfg).run();
         let a = result.flows[0].summary.avg_throughput_mbps;

@@ -89,6 +89,9 @@ pub struct ControlChannelDecoder {
     config: DecoderConfig,
     rng: DetRng,
     stats: DecoderStats,
+    /// Subframe before which the decoder is still re-acquiring the cell
+    /// (cell search, sync-signal lock, CRS timing) and decodes nothing.
+    resync_until: Option<u64>,
 }
 
 impl ControlChannelDecoder {
@@ -99,7 +102,22 @@ impl ControlChannelDecoder {
             config,
             rng,
             stats: DecoderStats::default(),
+            resync_until: None,
         }
+    }
+
+    /// Declare the decoder blind until `subframe`: after a handover the
+    /// radio must re-tune and re-synchronise onto the target cell before a
+    /// single candidate can be searched, so every message transmitted during
+    /// the re-acquisition gap is missed (and accounted as missed).
+    pub fn set_resync_until(&mut self, subframe: u64) {
+        self.resync_until = Some(subframe);
+    }
+
+    /// True if the decoder is still inside its re-acquisition gap at
+    /// `subframe`.
+    pub fn is_resynchronising(&self, subframe: u64) -> bool {
+        self.resync_until.is_some_and(|until| subframe < until)
     }
 
     /// The cell this decoder watches.
@@ -124,6 +142,14 @@ impl ControlChannelDecoder {
     ) -> Vec<DciMessage> {
         self.stats.subframes += 1;
         let mut decoded = Vec::new();
+        if self.is_resynchronising(subframe) {
+            // Everything transmitted while re-tuning is lost to the monitor.
+            self.stats.missed += transmitted
+                .iter()
+                .filter(|m| m.cell == self.cell && m.subframe == subframe)
+                .count() as u64;
+            return decoded;
+        }
 
         // Real messages: re-encode into their on-air form, walk the search
         // space, and blind-decode each candidate.
@@ -308,6 +334,29 @@ mod tests {
             stats.false_positives,
             stats.noise_rejected
         );
+    }
+
+    #[test]
+    fn resynchronising_decoder_misses_everything_then_recovers() {
+        let cfg = DecoderConfig {
+            miss_probability: 0.0,
+            noise_candidate_probability: 0.0,
+            ..DecoderConfig::default()
+        };
+        let mut dec = ControlChannelDecoder::new(CellId(1), cfg, DetRng::new(5));
+        dec.set_resync_until(40);
+        for sf in 0..40u64 {
+            assert!(dec.is_resynchronising(sf));
+            let mut m = msg(1, sf, 0x100, 10);
+            m.cell = CellId(1);
+            assert!(dec.decode_subframe(sf, &[m]).is_empty());
+        }
+        assert!(!dec.is_resynchronising(40));
+        let mut m = msg(1, 40, 0x100, 10);
+        m.cell = CellId(1);
+        assert_eq!(dec.decode_subframe(40, &[m]).len(), 1);
+        assert_eq!(dec.stats().missed, 40);
+        assert_eq!(dec.stats().decoded, 1);
     }
 
     #[test]

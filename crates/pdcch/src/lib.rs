@@ -18,6 +18,8 @@
 //!   number of *data-active* competing users after the `Ta > 1, Pa > 4`
 //!   control-traffic filter, and the user's own physical data rate.
 
+#![warn(missing_docs)]
+
 pub mod decoder;
 pub mod fusion;
 pub mod monitor;

@@ -169,6 +169,37 @@ impl CellStatusMonitor {
         self.config.cells.iter().map(|(c, _)| *c).collect()
     }
 
+    /// Number of subframes currently folded into a cell's window (0 if the
+    /// cell is untracked or nothing has been ingested since it was added).
+    pub fn window_len(&self, cell: CellId) -> usize {
+        self.trackers
+            .get(&cell)
+            .map(|t| t.window.len())
+            .unwrap_or(0)
+    }
+
+    /// Re-target the monitor after a handover: drop every tracked cell and
+    /// start a fresh tracker on the new serving cell.
+    ///
+    /// The old serving cell's window measures a control channel the UE no
+    /// longer listens to, so carrying it over would poison Eqns. 1–4; the
+    /// new cell starts with an *empty* window, and callers hold their last
+    /// estimate until it fills (see `PbeClient::on_handover` in `pbe-core`)
+    /// rather than reading the empty-window snapshot, which reports a fully
+    /// idle cell.
+    pub fn handover_to(&mut self, cell: CellId, total_prbs: u16) {
+        self.config.cells.clear();
+        self.config.cells.push((cell, total_prbs));
+        self.trackers.clear();
+        self.trackers.insert(
+            cell,
+            CellTracker {
+                total_prbs,
+                ..CellTracker::default()
+            },
+        );
+    }
+
     /// Fold one fused subframe of decoded control messages into the window.
     pub fn ingest(&mut self, fused: &FusedSubframe) {
         for (cell, tracker) in self.trackers.iter_mut() {
@@ -489,5 +520,26 @@ mod tests {
         assert_eq!(m.cells(), vec![CellId(0), CellId(1)]);
         let s = m.snapshot(CellId(1)).unwrap();
         assert_eq!(s.total_prbs, 50);
+    }
+
+    #[test]
+    fn handover_retargets_onto_a_fresh_window() {
+        let mut m = monitor();
+        m.add_cell(CellId(1), 50);
+        for sf in 0..20u64 {
+            m.ingest(&fused(sf, vec![msg(OWN, 60, sf, true)]));
+        }
+        assert_eq!(m.window_len(CellId(0)), 20);
+        m.handover_to(CellId(2), 75);
+        // Only the new serving cell remains, with an empty window; the old
+        // cells' history is gone.
+        assert_eq!(m.cells(), vec![CellId(2)]);
+        assert_eq!(m.window_len(CellId(2)), 0);
+        assert!(m.snapshot(CellId(0)).is_none());
+        let s = m.snapshot(CellId(2)).unwrap();
+        assert_eq!(s.total_prbs, 75);
+        // The new primary survives `remove_cell` like any primary.
+        m.remove_cell(CellId(2));
+        assert_eq!(m.cells(), vec![CellId(2)]);
     }
 }

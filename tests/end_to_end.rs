@@ -5,9 +5,11 @@ use pbe_cc_algorithms::api::SchemeName;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{FlowConfig, SchemeChoice, SimConfig, Simulation};
+use pbe_netsim::{FlowConfig, SchemeChoice, SimBuilder, SimConfig, SimEvent, Simulation};
 use pbe_stats::jain::jain_index;
 use pbe_stats::time::Duration;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 fn single(
     scheme: SchemeChoice,
@@ -118,6 +120,7 @@ fn pbe_detects_an_internet_bottleneck_and_bounds_its_delay() {
         )],
         flows: vec![FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)
             .with_wired_bottleneck(15e6, 150_000)],
+        trajectories: Vec::new(),
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
@@ -164,6 +167,7 @@ fn two_pbe_flows_with_different_rtts_share_prbs_fairly() {
             FlowConfig::bulk(2, ue_b, SchemeChoice::Pbe, duration)
                 .with_one_way_delay(Duration::from_millis(148)),
         ],
+        trajectories: Vec::new(),
     };
     let result = Simulation::new(cfg).run();
     // Jain's index over the primary-cell PRBs in the second half of the run
@@ -183,6 +187,99 @@ fn two_pbe_flows_with_different_rtts_share_prbs_fairly() {
 }
 
 #[test]
+fn cell_crossing_hands_over_and_pbe_reconverges_within_the_gap() {
+    // The acceptance scenario of the handover subsystem: a trajectory that
+    // crosses a cell boundary (serving cell fades -85 -> -110 dBm while the
+    // neighbour rises symmetrically) must (1) fire at least one A3 handover,
+    // narrated as SimEvent::Handover, (2) keep the PBE-CC feedback stream
+    // alive through the monitor's re-acquisition gap on the held estimate,
+    // and (3) resume *fresh* estimates of the target cell within the
+    // configured gap (+ the short window fill the client waits for).
+    let ue = UeId(1);
+    let duration = Duration::from_secs(10);
+    let estimates: Rc<RefCell<Vec<(u64, f64)>>> = Rc::default();
+    let ho_events: Rc<RefCell<Vec<(u64, CellId, CellId)>>> = Rc::default();
+    let est_sink = estimates.clone();
+    let ho_sink = ho_events.clone();
+    let result = SimBuilder::new()
+        .seed(42)
+        .duration(duration)
+        .cell_profile(CellularConfig::default(), CellLoadProfile::idle())
+        .ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1)], 1, -85.0),
+            MobilityTrace::stationary(-85.0),
+        )
+        .trajectory(
+            ue,
+            CellId(0),
+            MobilityTrace::from_secs(&[(0.0, -85.0), (7.0, -110.0)]),
+        )
+        .trajectory(
+            ue,
+            CellId(1),
+            MobilityTrace::from_secs(&[(0.0, -110.0), (7.0, -85.0)]),
+        )
+        .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration))
+        .observe(move |event: &SimEvent<'_>| match event {
+            SimEvent::CapacityEstimated { at, feedback, .. } => est_sink
+                .borrow_mut()
+                .push((at.as_millis(), feedback.capacity_bps())),
+            SimEvent::Handover { at, from, to, .. } => {
+                ho_sink.borrow_mut().push((at.as_millis(), *from, *to))
+            }
+            _ => {}
+        })
+        .run();
+
+    // (1) The crossing triggered a handover, visible both on the observer
+    // stream and in the aggregated result.
+    let ho_events = ho_events.borrow();
+    assert!(!ho_events.is_empty(), "no SimEvent::Handover emitted");
+    assert_eq!(result.handovers.len(), ho_events.len());
+    let (ho_ms, from, to) = ho_events[0];
+    assert_eq!(from, CellId(0));
+    assert_eq!(to, CellId(1));
+
+    // (2) Feedback keeps flowing through the re-acquisition gap.
+    let gap_ms = CellularConfig::default().handover.reacquisition_gap_ms;
+    let estimates = estimates.borrow();
+    let in_gap = estimates
+        .iter()
+        .filter(|(at, _)| (ho_ms..ho_ms + gap_ms).contains(at))
+        .count();
+    assert!(in_gap > 0, "no capacity feedback during the gap");
+
+    // (3) Within gap + the 8-subframe window fill, fresh estimates of the
+    // target cell arrive — and they are sane for the 50-PRB target (no
+    // full-idle-window spike above the physical ceiling).
+    let reconverge_deadline = ho_ms + gap_ms + 8;
+    let fresh: Vec<f64> = estimates
+        .iter()
+        .filter(|(at, _)| (reconverge_deadline..reconverge_deadline + 500).contains(at))
+        .map(|(_, bps)| *bps)
+        .collect();
+    assert!(
+        !fresh.is_empty(),
+        "no capacity feedback within the re-acquisition deadline"
+    );
+    // 50 PRBs * ~1560 bits/PRB per ms ~= 78 Mbit/s physical ceiling.
+    for bps in &fresh {
+        assert!(*bps < 90e6, "post-handover estimate spiked to {bps}");
+    }
+
+    // The flow itself survives the switch and finishes at a healthy rate on
+    // the target cell.
+    let f = &result.flows[0];
+    assert!(f.summary.avg_throughput_mbps > 15.0);
+    let tail = &f.throughput_timeline_mbps[f.throughput_timeline_mbps.len() - 15..];
+    let tail_avg: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(
+        tail_avg > 20.0,
+        "throughput on the target cell re-converged to {tail_avg} Mbit/s"
+    );
+}
+
+#[test]
 fn mobility_walk_keeps_pbe_delay_bounded() {
     // Fig. 16/17: along the RSSI walk PBE-CC's tail delay stays far below
     // the bufferbloat regime CUBIC/Verus exhibit.
@@ -198,6 +295,7 @@ fn mobility_walk_keeps_pbe_delay_bounded() {
             MobilityTrace::from_secs(&[(0.0, -85.0), (5.0, -103.0), (8.0, -85.0), (10.0, -85.0)]),
         )],
         flows: vec![FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)],
+        trajectories: Vec::new(),
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
