@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod scenarios;
 pub mod sweep;
 pub mod table;

@@ -7,6 +7,11 @@
 //! errors from the channel model, drives the HARQ retransmission machinery,
 //! and emits one DCI message per scheduled user per subframe — the stream the
 //! PBE-CC monitor decodes.
+//!
+//! Per-UE state lives in a struct-of-arrays layout: one sorted
+//! [`UeSlots`] index plus parallel value lanes (`Vec<Rnti>`, queues, HARQ
+//! entities, counters, staged channel states), so the per-subframe loops walk
+//! dense memory in UeId order instead of hashing into five maps per user.
 
 use crate::channel::{tb_error_probability, ChannelState};
 use crate::config::{CellConfig, CellId, Rnti, UeId};
@@ -15,11 +20,15 @@ use crate::harq::{HarqEntity, HarqOutcome, Segment, TransportBlock};
 use crate::mcs::{prbs_needed, transport_block_size};
 use crate::prb::{PrbAllocation, PrbUsage};
 use crate::scheduler::{Demand, DemandClass, EqualShareScheduler, ScheduleResult};
+use crate::slab::{SlotInsert, UeSlots};
 use crate::traffic::{BackgroundGrant, BackgroundTraffic};
 use pbe_stats::time::Instant;
-use pbe_stats::DetRng;
+use pbe_stats::{DetRng, FxHashMap};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+
+/// Upper bound on recycled segment buffers kept in the cell's pool.
+const SEGMENT_POOL_CAP: usize = 128;
 
 /// A packet queued for downlink delivery to one UE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,7 +63,7 @@ pub struct SubframeReport {
     /// PRB accounting for the subframe.
     pub prb_usage: PrbUsage,
     /// Queue depth in bits per foreground UE after this subframe.
-    pub queue_bits: HashMap<UeId, u64>,
+    pub queue_bits: FxHashMap<UeId, u64>,
 }
 
 impl Default for SubframeReport {
@@ -67,31 +76,41 @@ impl Default for SubframeReport {
             dci_messages: Vec::new(),
             outcomes: Vec::new(),
             prb_usage: PrbUsage::default(),
-            queue_bits: HashMap::new(),
+            queue_bits: FxHashMap::default(),
         }
     }
 }
 
 /// One component carrier of the simulated eNodeB.
+///
+/// Per-UE hot state is stored struct-of-arrays: a [`UeSlots`] index maps
+/// UeId → slot by binary search over a sorted dense id vector, and every
+/// lane below it is indexed by that slot.  Attach/detach shift all lanes
+/// together; the per-subframe tick never hashes.
 #[derive(Debug)]
 pub struct Cell {
     config: CellConfig,
     scheduler: EqualShareScheduler,
     background: BackgroundTraffic,
-    queues: HashMap<UeId, VecDeque<QueueEntry>>,
-    /// Running per-UE queue depth in bits, maintained on enqueue/transmit/
-    /// detach so [`Cell::queue_bits`] is O(1) — it is consulted per packet
-    /// by the network's flow splitting and per subframe by the scheduler
-    /// and the CA state machine, where walking a bufferbloated queue would
-    /// dominate the tick.
-    queued_bits: HashMap<UeId, u64>,
-    rnti_of: HashMap<UeId, Rnti>,
-    /// Attached UEs in sorted order — cached so the per-subframe tick does
-    /// not rebuild and re-sort the list (it is taken/restored around the
-    /// tick body to satisfy the borrow checker without a clone).
-    attached: Vec<UeId>,
-    harq: HashMap<UeId, HarqEntity>,
-    next_sequence: HashMap<UeId, u64>,
+    /// Sorted dense UeId → slot index; all per-UE lanes are parallel to it.
+    slots: UeSlots,
+    /// Lane: RNTI each UE's grants are addressed to.
+    rnti: Vec<Rnti>,
+    /// Lane: per-UE downlink packet queue.
+    queues: Vec<VecDeque<QueueEntry>>,
+    /// Lane: running queue depth in bits, maintained on enqueue/transmit/
+    /// detach so [`Cell::queue_bits`] never walks a bufferbloated queue — it
+    /// is consulted per packet by the network's flow splitting and per
+    /// subframe by the scheduler and the CA state machine.
+    queued_bits: Vec<u64>,
+    /// Lane: HARQ entity (pending retransmissions, counters).
+    harq: Vec<HarqEntity>,
+    /// Lane: next RLC sequence number.
+    next_sequence: Vec<u64>,
+    /// Lane: channel state staged for the next tick via [`Cell::set_channel`];
+    /// `None` means the UE is not scheduled this subframe.  Consumed (reset
+    /// to `None`) by [`Cell::tick_prepared`].
+    channel: Vec<Option<ChannelState>>,
     tb_counter: u64,
     /// RLC/PDCP/MAC header overhead fraction γ: a transport block of
     /// `tbs_bits` physical bits carries `tbs_bits · (1 − γ)` payload bits
@@ -102,6 +121,22 @@ pub struct Cell {
     pub total_allocated_prbs: u64,
     /// Cumulative subframes ticked.
     pub subframes_ticked: u64,
+    /// Scratch: background grants of the current subframe.
+    bg_grants: Vec<BackgroundGrant>,
+    /// Scratch: scheduler demands of the current subframe.
+    demands: Vec<Demand>,
+    /// Scratch: scheduler result, reused across subframes.
+    sched: ScheduleResult,
+    /// Scratch: PRBs granted per slot this subframe (dense `granted_to`).
+    granted_prbs: Vec<u16>,
+    /// Scratch: first PRB of the first allocation per slot this subframe.
+    granted_first: Vec<u16>,
+    /// Recycled segment buffers: transport blocks handed back through the
+    /// report (or drained on detach) return their `Vec<Segment>` here, and
+    /// [`Cell::pull_segments`] reuses them instead of allocating.
+    segment_pool: Vec<Vec<Segment>>,
+    /// Scratch for [`Cell::detach`]'s per-packet merge.
+    detach_index: FxHashMap<u64, usize>,
 }
 
 impl Cell {
@@ -112,17 +147,25 @@ impl Cell {
             config,
             scheduler: EqualShareScheduler::new(),
             background,
-            queues: HashMap::new(),
-            queued_bits: HashMap::new(),
-            rnti_of: HashMap::new(),
-            attached: Vec::new(),
-            harq: HashMap::new(),
-            next_sequence: HashMap::new(),
+            slots: UeSlots::new(),
+            rnti: Vec::new(),
+            queues: Vec::new(),
+            queued_bits: Vec::new(),
+            harq: Vec::new(),
+            next_sequence: Vec::new(),
+            channel: Vec::new(),
             tb_counter: 0,
             protocol_overhead: 0.0,
             rng,
             total_allocated_prbs: 0,
             subframes_ticked: 0,
+            bg_grants: Vec::new(),
+            demands: Vec::new(),
+            sched: ScheduleResult::default(),
+            granted_prbs: Vec::new(),
+            granted_first: Vec::new(),
+            segment_pool: Vec::new(),
+            detach_index: FxHashMap::default(),
         }
     }
 
@@ -150,13 +193,22 @@ impl Cell {
 
     /// Attach a foreground UE with the RNTI its grants will be addressed to.
     pub fn attach(&mut self, ue: UeId, rnti: Rnti) {
-        if self.rnti_of.insert(ue, rnti).is_none() {
-            let pos = self.attached.partition_point(|u| *u < ue);
-            self.attached.insert(pos, ue);
+        match self.slots.insert(ue) {
+            SlotInsert::Inserted(slot) => {
+                self.rnti.insert(slot, rnti);
+                self.queues.insert(slot, VecDeque::new());
+                self.queued_bits.insert(slot, 0);
+                self.harq.insert(slot, HarqEntity::default());
+                self.next_sequence.insert(slot, 0);
+                self.channel.insert(slot, None);
+            }
+            SlotInsert::Present(slot) => {
+                // Re-attaching only refreshes the RNTI; queues, HARQ and the
+                // sequence space are preserved (same as before the slab
+                // layout, where attach only overwrote the rnti map entry).
+                self.rnti[slot] = rnti;
+            }
         }
-        self.queues.entry(ue).or_default();
-        self.harq.entry(ue).or_default();
-        self.next_sequence.entry(ue).or_insert(0);
     }
 
     /// Detach a UE, draining everything the cell still holds for it: queued
@@ -166,16 +218,27 @@ impl Cell {
     /// target cell — the data forwarding of an X2 handover.  The UE's RLC
     /// sequence space here is discarded; re-attaching starts from 0.
     pub fn detach(&mut self, ue: UeId, now: Instant) -> Vec<QueuedPacket> {
-        self.rnti_of.remove(&ue);
-        self.attached.retain(|u| *u != ue);
-        self.next_sequence.remove(&ue);
-        self.queued_bits.remove(&ue);
+        let Some(slot) = self.slots.remove(ue) else {
+            return Vec::new();
+        };
+        self.rnti.remove(slot);
+        self.next_sequence.remove(slot);
+        self.queued_bits.remove(slot);
+        self.channel.remove(slot);
+        let mut harq = self.harq.remove(slot);
+        let queue = self.queues.remove(slot);
+
         let mut forwarded: Vec<QueuedPacket> = Vec::new();
-        let mut index: HashMap<u64, usize> = HashMap::new();
-        let mut add =
-            |forwarded: &mut Vec<QueuedPacket>, id: u64, bytes: u32, at: Instant| match index
-                .get(&id)
-            {
+        let index = &mut self.detach_index;
+        index.clear();
+        fn add(
+            index: &mut FxHashMap<u64, usize>,
+            forwarded: &mut Vec<QueuedPacket>,
+            id: u64,
+            bytes: u32,
+            at: Instant,
+        ) {
+            match index.get(&id) {
                 Some(&i) => {
                     forwarded[i].bytes += bytes;
                     forwarded[i].enqueued_at = forwarded[i].enqueued_at.min(at);
@@ -188,51 +251,80 @@ impl Cell {
                         enqueued_at: at,
                     });
                 }
-            };
-        if let Some(mut harq) = self.harq.remove(&ue) {
-            for block in harq.drain_pending() {
-                for seg in &block.segments {
-                    add(&mut forwarded, seg.packet_id, seg.bytes, now);
-                }
             }
         }
-        if let Some(queue) = self.queues.remove(&ue) {
-            for entry in queue {
-                add(
-                    &mut forwarded,
-                    entry.packet.id,
-                    entry.remaining_bytes,
-                    entry.packet.enqueued_at,
-                );
+        for mut block in harq.drain_pending() {
+            for seg in &block.segments {
+                add(index, &mut forwarded, seg.packet_id, seg.bytes, now);
             }
+            // Recycle the drained block's segment buffer.
+            if self.segment_pool.len() < SEGMENT_POOL_CAP {
+                block.segments.clear();
+                self.segment_pool.push(std::mem::take(&mut block.segments));
+            }
+        }
+        for entry in queue {
+            add(
+                index,
+                &mut forwarded,
+                entry.packet.id,
+                entry.remaining_bytes,
+                entry.packet.enqueued_at,
+            );
         }
         forwarded
     }
 
     /// True if the UE is attached to this cell.
     pub fn is_attached(&self, ue: UeId) -> bool {
-        self.rnti_of.contains_key(&ue)
+        self.slots.contains(ue)
     }
 
     /// Enqueue a downlink packet for an attached UE.
     pub fn enqueue(&mut self, ue: UeId, packet: QueuedPacket) {
-        debug_assert!(self.is_attached(ue), "enqueue for unattached {ue}");
-        *self.queued_bits.entry(ue).or_insert(0) += u64::from(packet.bytes) * 8;
-        self.queues.entry(ue).or_default().push_back(QueueEntry {
+        let Some(slot) = self.slots.slot_of(ue) else {
+            debug_assert!(false, "enqueue for unattached {ue}");
+            return;
+        };
+        self.queued_bits[slot] += u64::from(packet.bytes) * 8;
+        self.queues[slot].push_back(QueueEntry {
             remaining_bytes: packet.bytes,
             packet,
         });
     }
 
-    /// Bits waiting in the downlink queue of a UE (O(1): maintained as a
-    /// running counter).
+    /// Stage the channel state of an attached UE for the next tick.  The
+    /// staged state is consumed by [`Cell::tick_prepared`]; a UE with no
+    /// staged state is simply not scheduled that subframe.
+    pub fn set_channel(&mut self, ue: UeId, state: ChannelState) {
+        if let Some(slot) = self.slots.slot_of(ue) {
+            self.channel[slot] = Some(state);
+        }
+    }
+
+    /// Clear a previously staged channel state (e.g. when a handover removes
+    /// the UE from this carrier mid-subframe).
+    pub fn clear_channel(&mut self, ue: UeId) {
+        if let Some(slot) = self.slots.slot_of(ue) {
+            self.channel[slot] = None;
+        }
+    }
+
+    /// Bits waiting in the downlink queue of a UE (O(log n): a binary search
+    /// into the slot index plus one dense read).
     pub fn queue_bits(&self, ue: UeId) -> u64 {
-        self.queued_bits.get(&ue).copied().unwrap_or(0)
+        self.slots
+            .slot_of(ue)
+            .map(|slot| self.queued_bits[slot])
+            .unwrap_or(0)
     }
 
     /// Number of packets waiting (fully or partially) for a UE.
     pub fn queue_packets(&self, ue: UeId) -> usize {
-        self.queues.get(&ue).map(|q| q.len()).unwrap_or(0)
+        self.slots
+            .slot_of(ue)
+            .map(|slot| self.queues[slot].len())
+            .unwrap_or(0)
     }
 
     /// Long-run PRB utilisation of the cell.
@@ -244,10 +336,12 @@ impl Cell {
             / (self.subframes_ticked as f64 * f64::from(self.config.total_prbs()))
     }
 
-    fn pull_segments(&mut self, ue: UeId, capacity_bits: u32) -> (Vec<Segment>, u32) {
-        let queue = self.queues.entry(ue).or_default();
+    /// Pull up to `capacity_bits` of queued payload for the UE at `slot` into
+    /// segments, reusing a pooled buffer.
+    fn pull_segments(&mut self, slot: usize, capacity_bits: u32) -> (Vec<Segment>, u32) {
+        let mut segments = self.segment_pool.pop().unwrap_or_default();
+        let queue = &mut self.queues[slot];
         let mut capacity_bytes = capacity_bits / 8;
-        let mut segments = Vec::new();
         let mut used_bytes = 0u32;
         while capacity_bytes > 0 {
             let Some(front) = queue.front_mut() else {
@@ -272,11 +366,17 @@ impl Cell {
         }
         let used_bits = u64::from(used_bytes) * 8;
         if used_bits > 0 {
-            if let Some(bits) = self.queued_bits.get_mut(&ue) {
-                *bits = bits.saturating_sub(used_bits);
-            }
+            self.queued_bits[slot] = self.queued_bits[slot].saturating_sub(used_bits);
         }
         (segments, used_bytes * 8)
+    }
+
+    /// Return a segment buffer to the pool.
+    fn recycle_segments(&mut self, mut segments: Vec<Segment>) {
+        if self.segment_pool.len() < SEGMENT_POOL_CAP {
+            segments.clear();
+            self.segment_pool.push(segments);
+        }
     }
 
     /// Advance the cell by one subframe.
@@ -295,63 +395,77 @@ impl Cell {
 
     /// Advance the cell by one subframe, writing into a caller-owned report.
     ///
-    /// The hot-loop variant of [`Cell::tick`]: the report's vectors and maps
-    /// are cleared and refilled in place, so a driver that reuses one report
-    /// per cell allocates nothing per subframe once the buffers have grown
-    /// to their working size.
+    /// Compatibility wrapper over [`Cell::set_channel`] +
+    /// [`Cell::tick_prepared`] for callers that carry channel state in a map.
     pub fn tick_into(
         &mut self,
         subframe: u64,
         channels: &HashMap<UeId, ChannelState>,
         report: &mut SubframeReport,
     ) {
+        // Staging order does not matter: writes land in disjoint slots.
+        for (ue, state) in channels {
+            self.set_channel(*ue, *state);
+        }
+        self.tick_prepared(subframe, report);
+    }
+
+    /// Advance the cell by one subframe using the channel states staged via
+    /// [`Cell::set_channel`], writing into a caller-owned report.
+    ///
+    /// The hot-loop entry point: the report's vectors and maps are cleared
+    /// and refilled in place, previously reported transport blocks donate
+    /// their segment buffers back to the pool, and all per-UE state is read
+    /// from dense lanes — a driver that reuses one report per cell allocates
+    /// nothing per subframe once the buffers have grown to their working
+    /// size.  Staged channel states are consumed (reset to `None`).
+    pub fn tick_prepared(&mut self, subframe: u64, report: &mut SubframeReport) {
         self.subframes_ticked += 1;
         let total_prbs = self.config.total_prbs();
         report.cell = self.config.id;
         report.subframe = subframe;
         report.dci_messages.clear();
-        report.outcomes.clear();
+        // Transport blocks from the previous subframe's report are dead;
+        // recycle their segment buffers instead of dropping them.
+        for (_, o) in report.outcomes.drain(..) {
+            self.recycle_segments(o.block.segments);
+        }
         report.prb_usage.total = total_prbs;
         report.prb_usage.allocations.clear();
         report.queue_bits.clear();
-        let dci_messages = &mut report.dci_messages;
-        let outcomes = &mut report.outcomes;
-        let allocations = &mut report.prb_usage.allocations;
         let mut cursor: u16 = 0;
 
         // --- Phase 1: HARQ retransmissions take priority. ------------------
-        // The cached attached list is already sorted for cross-process
-        // determinism (see CellularNetwork::tick); it is taken and restored
-        // around the body so the loop can borrow `self` mutably.
-        let ue_ids = std::mem::take(&mut self.attached);
-        for ue in &ue_ids {
-            let Some(state) = channels.get(ue) else {
+        // Slots iterate in sorted UeId order — the cross-process determinism
+        // invariant (see CellularNetwork::tick).
+        for slot in 0..self.slots.len() {
+            let Some(state) = self.channel[slot] else {
                 continue;
             };
-            let harq = self.harq.entry(*ue).or_default();
-            if !harq.has_due_retransmission(subframe) {
+            if !self.harq[slot].has_due_retransmission(subframe) {
                 continue;
             }
+            let ue = self.slots.ids()[slot];
+            let rnti = self.rnti[slot];
             let ber = state.bit_error_rate;
             let mut rng = self
                 .rng
                 .split_indexed("retx", subframe ^ u64::from(ue.0) << 32);
-            let retx_outcomes = harq.retransmit_due(subframe, |block| {
+            let retx_outcomes = self.harq[slot].retransmit_due(subframe, |block| {
                 rng.bernoulli(tb_error_probability(u64::from(block.tbs_bits), ber))
             });
-            let rnti = self.rnti_of[ue];
             for o in &retx_outcomes {
                 let prbs = o.block.num_prbs.min(total_prbs.saturating_sub(cursor));
                 if prbs > 0 {
-                    allocations.push(PrbAllocation {
-                        ue: *ue,
+                    report.prb_usage.allocations.push(PrbAllocation {
+                        ue,
                         rnti,
                         first_prb: cursor,
                         num_prbs: prbs,
                     });
                     cursor += prbs;
                 }
-                dci_messages.push(DciMessage {
+                report.dci_messages.push(DciMessage {
                     cell: self.config.id,
                     subframe,
                     rnti,
@@ -360,7 +474,12 @@ impl Cell {
                     } else {
                         DciFormat::Format1
                     },
-                    first_prb: allocations.last().map(|a| a.first_prb).unwrap_or(0),
+                    first_prb: report
+                        .prb_usage
+                        .allocations
+                        .last()
+                        .map(|a| a.first_prb)
+                        .unwrap_or(0),
                     num_prbs: prbs,
                     mcs: state.cqi.to_mcs(),
                     spatial_streams: state.spatial_streams,
@@ -369,19 +488,22 @@ impl Cell {
                     tbs_bits: o.block.tbs_bits,
                 });
             }
-            outcomes.extend(retx_outcomes.into_iter().map(|o| (*ue, o)));
+            report
+                .outcomes
+                .extend(retx_outcomes.into_iter().map(|o| (ue, o)));
         }
 
         // --- Phase 2: background grants and foreground new data compete for
         // the remaining PRBs through the equal-share scheduler. -------------
         let remaining_prbs = total_prbs - cursor;
-        let background_grants: Vec<BackgroundGrant> = self.background.tick(subframe);
-        let mut demands: Vec<Demand> = BackgroundTraffic::to_demands(&background_grants);
-        for ue in &ue_ids {
-            let Some(state) = channels.get(ue) else {
+        self.background.tick_into(subframe, &mut self.bg_grants);
+        self.demands.clear();
+        BackgroundTraffic::append_demands(&self.bg_grants, &mut self.demands);
+        for slot in 0..self.slots.len() {
+            let Some(state) = self.channel[slot] else {
                 continue;
             };
-            let queue_bits = self.queue_bits(*ue);
+            let queue_bits = self.queued_bits[slot];
             if queue_bits == 0 {
                 continue;
             }
@@ -390,22 +512,23 @@ impl Cell {
             if prbs == 0 {
                 continue;
             }
-            demands.push(Demand {
-                ue: *ue,
-                rnti: self.rnti_of[ue],
+            self.demands.push(Demand {
+                ue: self.slots.ids()[slot],
+                rnti: self.rnti[slot],
                 prbs,
                 class: DemandClass::Data,
             });
         }
-        let result: ScheduleResult = self.scheduler.schedule(remaining_prbs, &demands);
+        self.scheduler
+            .schedule_into(remaining_prbs, &self.demands, &mut self.sched);
 
-        // Background DCIs.
-        let grant_by_rnti: HashMap<Rnti, &BackgroundGrant> =
-            background_grants.iter().map(|g| (g.rnti, g)).collect();
-        for alloc in &result.allocations {
-            if let Some(grant) = grant_by_rnti.get(&alloc.rnti) {
+        // Background DCIs.  Background RNTIs are unique within a subframe, so
+        // a linear scan over the (small) grant list replaces the per-subframe
+        // rnti → grant map.
+        for alloc in &self.sched.allocations {
+            if let Some(grant) = self.bg_grants.iter().find(|g| g.rnti == alloc.rnti) {
                 let tbs = transport_block_size(alloc.num_prbs, grant.cqi, 1);
-                dci_messages.push(DciMessage {
+                report.dci_messages.push(DciMessage {
                     cell: self.config.id,
                     subframe,
                     rnti: alloc.rnti,
@@ -425,22 +548,40 @@ impl Cell {
             }
         }
 
+        // Dense per-slot grant totals replace the O(allocations) scans of
+        // `ScheduleResult::granted_to` in the foreground loop below.
+        let n = self.slots.len();
+        self.granted_prbs.clear();
+        self.granted_prbs.resize(n, 0);
+        self.granted_first.clear();
+        self.granted_first.resize(n, 0);
+        for a in &self.sched.allocations {
+            if let Some(slot) = self.slots.slot_of(a.ue) {
+                if self.granted_prbs[slot] == 0 {
+                    self.granted_first[slot] = a.first_prb;
+                }
+                self.granted_prbs[slot] += a.num_prbs;
+            }
+        }
+
         // Foreground transport blocks.
-        for ue in &ue_ids {
-            let Some(state) = channels.get(ue) else {
+        for slot in 0..self.slots.len() {
+            let Some(state) = self.channel[slot] else {
                 continue;
             };
-            let granted = result.granted_to(*ue);
+            let granted = self.granted_prbs[slot];
             if granted == 0 {
                 continue;
             }
-            let rnti = self.rnti_of[ue];
+            let ue = self.slots.ids()[slot];
+            let rnti = self.rnti[slot];
             let tbs_bits = transport_block_size(granted, state.cqi, state.spatial_streams);
             // γ of the physical transport block is RLC/PDCP/MAC headers; only
             // the remainder carries transport payload (paper Eqn. 5).
             let payload_capacity = (f64::from(tbs_bits) * (1.0 - self.protocol_overhead)) as u32;
-            let (segments, used_bits) = self.pull_segments(*ue, payload_capacity);
+            let (segments, used_bits) = self.pull_segments(slot, payload_capacity);
             if segments.is_empty() {
+                self.recycle_segments(segments);
                 continue;
             }
             // The physical bits occupied on the air, including headers: this
@@ -449,7 +590,7 @@ impl Cell {
                 (f64::from(used_bits) / (1.0 - self.protocol_overhead)).ceil() as u32;
             self.tb_counter += 1;
             let sequence = {
-                let seq = self.next_sequence.entry(*ue).or_insert(0);
+                let seq = &mut self.next_sequence[slot];
                 let s = *seq;
                 *seq += 1;
                 s
@@ -465,15 +606,9 @@ impl Cell {
             let error_p = tb_error_probability(u64::from(block.tbs_bits), state.bit_error_rate);
             let mut rng = self.rng.split_indexed("tberr", self.tb_counter);
             let error = rng.bernoulli(error_p);
-            let harq = self.harq.entry(*ue).or_default();
-            let outcome = harq.transmit_new(block, subframe, error);
-            let first_prb = result
-                .allocations
-                .iter()
-                .find(|a| a.ue == *ue)
-                .map(|a| a.first_prb + cursor)
-                .unwrap_or(cursor);
-            dci_messages.push(DciMessage {
+            let outcome = self.harq[slot].transmit_new(block, subframe, error);
+            let first_prb = self.granted_first[slot] + cursor;
+            report.dci_messages.push(DciMessage {
                 cell: self.config.id,
                 subframe,
                 rnti,
@@ -490,12 +625,12 @@ impl Cell {
                 harq_process: (outcome.block.id % 8) as u8,
                 tbs_bits: outcome.block.tbs_bits,
             });
-            outcomes.push((*ue, outcome));
+            report.outcomes.push((ue, outcome));
         }
 
         // --- Phase 3: bookkeeping. ------------------------------------------
-        for alloc in &result.allocations {
-            allocations.push(PrbAllocation {
+        for alloc in &self.sched.allocations {
+            report.prb_usage.allocations.push(PrbAllocation {
                 ue: alloc.ue,
                 rnti: alloc.rnti,
                 first_prb: alloc.first_prb + cursor,
@@ -503,10 +638,13 @@ impl Cell {
             });
         }
         self.total_allocated_prbs += u64::from(report.prb_usage.allocated());
-        for ue in &ue_ids {
-            report.queue_bits.insert(*ue, self.queue_bits(*ue));
+        for (slot, ue) in self.slots.ids().iter().enumerate() {
+            report.queue_bits.insert(*ue, self.queued_bits[slot]);
         }
-        self.attached = ue_ids;
+        // Staged channel states are good for exactly one subframe.
+        for c in &mut self.channel {
+            *c = None;
+        }
     }
 }
 
@@ -736,6 +874,56 @@ mod tests {
         for sf in 0..500u64 {
             let report = cell.tick(sf, &channels_for(ue, good_channel()));
             assert!(report.prb_usage.is_consistent(), "subframe {sf}");
+        }
+    }
+
+    #[test]
+    fn prepared_tick_matches_map_based_tick() {
+        // The set_channel + tick_prepared path and the map-based tick must
+        // produce byte-identical reports on the same seed.
+        let mk = || {
+            let mut cell = Cell::new(
+                CellConfig::primary_20mhz(CellId(0)),
+                BackgroundTraffic::new(CellLoadProfile::busy(), DetRng::new(3)),
+                DetRng::new(4),
+            );
+            for u in 0..4u32 {
+                let ue = UeId(u);
+                cell.attach(ue, Rnti(0x100 + u as u16));
+                for i in 0..200 {
+                    cell.enqueue(
+                        ue,
+                        QueuedPacket {
+                            id: u64::from(u) * 1000 + i,
+                            bytes: 1500,
+                            enqueued_at: Instant::ZERO,
+                        },
+                    );
+                }
+            }
+            cell
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut report_a = SubframeReport::default();
+        let mut report_b = SubframeReport::default();
+        for sf in 0..50u64 {
+            let mut channels = HashMap::new();
+            for u in 0..4u32 {
+                if sf % 5 != u64::from(u) % 5 {
+                    channels.insert(UeId(u), good_channel());
+                }
+            }
+            a.tick_into(sf, &channels, &mut report_a);
+            for (ue, state) in &channels {
+                b.set_channel(*ue, *state);
+            }
+            b.tick_prepared(sf, &mut report_b);
+            assert_eq!(
+                serde_json::to_string(&report_a).unwrap(),
+                serde_json::to_string(&report_b).unwrap(),
+                "subframe {sf}"
+            );
         }
     }
 }

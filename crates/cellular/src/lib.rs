@@ -40,6 +40,7 @@ pub mod network;
 pub mod prb;
 pub mod reorder;
 pub mod scheduler;
+pub mod slab;
 pub mod traffic;
 pub mod ue;
 

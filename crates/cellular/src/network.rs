@@ -12,17 +12,22 @@
 //! The tick path is allocation-conscious: drivers that advance millions of
 //! subframes should call [`CellularNetwork::tick_into`] with one reused
 //! [`NetworkTickReport`], which clears and refills its buffers in place.
+//! UEs live in a struct-of-arrays slab ([`UeSlots`] index plus a parallel
+//! `Vec<UserEquipment>` lane), cells are addressed through a dense
+//! CellId → index table, and channel states are staged directly into each
+//! cell via [`Cell::set_channel`] instead of per-cell hash maps.
 
 use crate::carrier::{CaEvent, CaObservation, CarrierAggregationManager};
 use crate::cell::{Cell, QueuedPacket, SubframeReport};
-use crate::channel::{ChannelModel, ChannelState, MobilityTrace};
+use crate::channel::{ChannelModel, MobilityTrace};
 use crate::config::{CellId, CellularConfig, Rnti, UeConfig, UeId};
 use crate::dci::DciMessage;
 use crate::handover::{HandoverEvent, HandoverManager};
+use crate::slab::{SlotInsert, UeSlots};
 use crate::traffic::{BackgroundTraffic, CellLoadProfile};
 use crate::ue::{PacketEvent, UserEquipment};
 use pbe_stats::time::Instant;
-use pbe_stats::DetRng;
+use pbe_stats::{DetRng, FxHashMap};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -67,27 +72,28 @@ pub struct NetworkTickReport {
 pub struct CellularNetwork {
     config: CellularConfig,
     cells: Vec<Cell>,
-    /// Cell position by id, for O(1) scratch-buffer addressing.
-    cell_index: HashMap<CellId, usize>,
-    ues: HashMap<UeId, UserEquipment>,
-    /// Registered UE ids in sorted order — the per-subframe iteration order,
-    /// cached so the tick does not rebuild and re-sort it.
-    ue_ids: Vec<UeId>,
+    /// Dense CellId → position in `cells` (a CellId is a `u8`, so the full
+    /// id space fits in 256 entries; absent ids hold `usize::MAX`).
+    cell_lookup: Vec<usize>,
+    /// Sorted dense UeId → slot index; `ues` is its parallel value lane.
+    /// Slot order is UeId order — the per-subframe iteration order that
+    /// keeps scheduling, delivery and RNG-draw order reproducible.
+    ue_slots: UeSlots,
+    /// Lane: UE state, parallel to `ue_slots`.
+    ues: Vec<UserEquipment>,
     ca: CarrierAggregationManager,
     handover: HandoverManager,
-    packet_bytes: HashMap<u64, u32>,
+    packet_bytes: FxHashMap<u64, u32>,
     next_rnti: u16,
     rng: DetRng,
     /// Subframes ticked so far.
     pub subframes: u64,
-    /// Per-cell channel scratch (parallel to `cells`), reused every tick.
-    channel_scratch: Vec<HashMap<UeId, ChannelState>>,
     /// RSRP measurement scratch for the A3 evaluation, reused per UE.
     rsrp_scratch: Vec<(CellId, f64)>,
     /// Handover decisions of the current measurement round.
     pending_handovers: Vec<(UeId, CellId)>,
-    /// PRBs allocated per UE this subframe (CA bookkeeping scratch).
-    alloc_scratch: HashMap<UeId, u32>,
+    /// PRBs allocated per UE slot this subframe (CA bookkeeping scratch).
+    alloc_scratch: Vec<u32>,
     /// Packet-event scratch for UE outcome processing.
     event_scratch: Vec<PacketEvent>,
 }
@@ -110,25 +116,26 @@ impl CellularNetwork {
                 cell
             })
             .collect();
-        let cell_index = cells.iter().enumerate().map(|(i, c)| (c.id(), i)).collect();
-        let channel_scratch = cells.iter().map(|_| HashMap::new()).collect();
+        let mut cell_lookup = vec![usize::MAX; 256];
+        for (i, c) in cells.iter().enumerate() {
+            cell_lookup[usize::from(c.id().0)] = i;
+        }
         let handover = HandoverManager::new(config.handover);
         CellularNetwork {
             config,
             cells,
-            cell_index,
-            ues: HashMap::new(),
-            ue_ids: Vec::new(),
+            cell_lookup,
+            ue_slots: UeSlots::new(),
+            ues: Vec::new(),
             ca: CarrierAggregationManager::new(),
             handover,
-            packet_bytes: HashMap::new(),
+            packet_bytes: FxHashMap::default(),
             next_rnti: 0x0100,
             rng,
             subframes: 0,
-            channel_scratch,
             rsrp_scratch: Vec::new(),
             pending_handovers: Vec::new(),
-            alloc_scratch: HashMap::new(),
+            alloc_scratch: Vec::new(),
             event_scratch: Vec::new(),
         }
     }
@@ -151,14 +158,26 @@ impl CellularNetwork {
         &self.handover
     }
 
+    #[inline]
+    fn cell_pos(&self, id: CellId) -> usize {
+        self.cell_lookup[usize::from(id.0)]
+    }
+
     fn cell_mut(&mut self, id: CellId) -> Option<&mut Cell> {
-        // Linear scan: faster than hashing for the common 3-cell network and
-        // still fine at the 256-cell maximum a CellId can address.
-        self.cells.iter_mut().find(|c| c.id() == id)
+        let pos = self.cell_pos(id);
+        self.cells.get_mut(pos)
     }
 
     fn cell(&self, id: CellId) -> Option<&Cell> {
-        self.cells.iter().find(|c| c.id() == id)
+        self.cells.get(self.cell_pos(id))
+    }
+
+    fn ue(&self, id: UeId) -> Option<&UserEquipment> {
+        self.ue_slots.slot_of(id).map(|slot| &self.ues[slot])
+    }
+
+    fn ue_mut(&mut self, id: UeId) -> Option<&mut UserEquipment> {
+        self.ue_slots.slot_of(id).map(|slot| &mut self.ues[slot])
     }
 
     /// Register a UE with the given mobility trace applied to all of its
@@ -195,10 +214,11 @@ impl CellularNetwork {
         }
         self.ca.register(ue_config.id);
         let id = ue_config.id;
-        self.ues
-            .insert(id, UserEquipment::new(ue_config, rnti, channels));
-        let pos = self.ue_ids.partition_point(|u| *u < id);
-        self.ue_ids.insert(pos, id);
+        let ue = UserEquipment::new(ue_config, rnti, channels);
+        match self.ue_slots.insert(id) {
+            SlotInsert::Inserted(slot) => self.ues.insert(slot, ue),
+            SlotInsert::Present(slot) => self.ues[slot] = ue,
+        }
         rnti
     }
 
@@ -216,7 +236,7 @@ impl CellularNetwork {
     /// No-op if the UE or cell is unknown.
     pub fn set_cell_trace(&mut self, ue: UeId, cell: CellId, trace: MobilityTrace) {
         let rng = {
-            let Some(u) = self.ues.get(&ue) else { return };
+            let Some(u) = self.ue(ue) else { return };
             let Some(pos) = u.config().configured_cells.iter().position(|c| *c == cell) else {
                 return;
             };
@@ -227,19 +247,19 @@ impl CellularNetwork {
             .cell(cell)
             .map(|c| c.max_spatial_streams)
             .unwrap_or(2);
-        if let Some(u) = self.ues.get_mut(&ue) {
+        if let Some(u) = self.ue_mut(ue) {
             u.set_channel(cell, ChannelModel::new(trace, max_streams, rng));
         }
     }
 
     /// The RNTI of a registered UE.
     pub fn rnti_of(&self, ue: UeId) -> Option<Rnti> {
-        self.ues.get(&ue).map(|u| u.rnti())
+        self.ue(ue).map(|u| u.rnti())
     }
 
     /// The current serving (primary) cell of a UE.
     pub fn serving_cell(&self, ue: UeId) -> Option<CellId> {
-        self.ues.get(&ue).map(|u| u.config().primary_cell())
+        self.ue(ue).map(|u| u.config().primary_cell())
     }
 
     /// Number of currently active (aggregated) cells of a UE.
@@ -252,8 +272,7 @@ impl CellularNetwork {
 
     /// Cells currently active (aggregated) for a UE.
     pub fn active_cells(&self, ue: UeId) -> Vec<CellId> {
-        self.ues
-            .get(&ue)
+        self.ue(ue)
             .map(|u| self.ca.active_cell_ids(u.config()))
             .unwrap_or_default()
     }
@@ -265,8 +284,7 @@ impl CellularNetwork {
 
     /// Bits queued for a UE across its configured cells.
     pub fn queue_bits(&self, ue: UeId) -> u64 {
-        self.ues
-            .get(&ue)
+        self.ue(ue)
             .map(|u| {
                 u.config()
                     .configured_cells
@@ -282,7 +300,7 @@ impl CellularNetwork {
     /// the active cell with the lowest queue-to-capacity ratio (the network's
     /// internal flow splitting across aggregated carriers).
     pub fn enqueue_packet(&mut self, ue: UeId, packet_id: u64, bytes: u32, now: Instant) {
-        let Some(u) = self.ues.get(&ue) else { return };
+        let Some(u) = self.ue(ue) else { return };
         let n = self.active_count(u.config());
         let mut target: Option<(CellId, f64)> = None;
         for cell_id in &u.config().configured_cells[..n] {
@@ -329,66 +347,67 @@ impl CellularNetwork {
         report.dci_messages.clear();
         report.ca_events.clear();
         report.handovers.clear();
-        for scratch in &mut self.channel_scratch {
-            scratch.clear();
-        }
 
         // --- Phase 1: channel sampling and A3 measurement. ------------------
         // Per UE, sample every *active* cell (the data path needs its state)
         // and, on measurement subframes, every configured cell (the A3
         // ranking needs neighbours too).  Each (UE, cell) channel owns an
         // independent random stream, so the extra measurement samples leave
-        // every other draw untouched.  `ue_ids` is sorted, which keeps
-        // scheduling, delivery and RNG-draw order reproducible across
-        // processes.
+        // every other draw untouched.  Slots iterate in sorted UeId order,
+        // which keeps scheduling, delivery and RNG-draw order reproducible
+        // across processes.  Active-cell states are staged straight into the
+        // owning cell's channel lane.
         let measure = self.config.handover.enabled && self.handover.is_measurement_subframe(now);
-        let ue_ids = std::mem::take(&mut self.ue_ids);
-        let mut pending = std::mem::take(&mut self.pending_handovers);
-        pending.clear();
-        let mut rsrp = std::mem::take(&mut self.rsrp_scratch);
-        for ue_id in &ue_ids {
-            let ue = self.ues.get_mut(ue_id).expect("ue exists");
-            let n_cells = ue.config().configured_cells.len();
+        self.pending_handovers.clear();
+        for slot in 0..self.ues.len() {
+            let ue_id = self.ue_slots.ids()[slot];
+            let n_cells = self.ues[slot].config().configured_cells.len();
             let n_active = self
                 .ca
-                .active_cells(*ue_id)
-                .min(ue.config().max_aggregated_cells)
+                .active_cells(ue_id)
+                .min(self.ues[slot].config().max_aggregated_cells)
                 .min(n_cells);
             let measure_ue = measure && n_cells > 1;
-            rsrp.clear();
+            self.rsrp_scratch.clear();
             for i in 0..n_cells {
-                let cell_id = ue.config().configured_cells[i];
+                let cell_id = self.ues[slot].config().configured_cells[i];
                 let is_active = i < n_active;
                 if !is_active && !measure_ue {
                     continue;
                 }
-                let Some(state) = ue.sample_channel(cell_id, now) else {
+                let Some(state) = self.ues[slot].sample_channel(cell_id, now) else {
                     continue;
                 };
                 if is_active {
-                    if let Some(&idx) = self.cell_index.get(&cell_id) {
-                        self.channel_scratch[idx].insert(*ue_id, state);
+                    let pos = self.cell_pos(cell_id);
+                    if let Some(cell) = self.cells.get_mut(pos) {
+                        cell.set_channel(ue_id, state);
                     }
                 }
                 if measure_ue {
-                    rsrp.push((cell_id, state.rsrp_dbm()));
+                    self.rsrp_scratch.push((cell_id, state.rsrp_dbm()));
                 }
             }
             if measure_ue {
-                let serving = ue.config().primary_cell();
-                if let Some(target) = self.handover.observe(*ue_id, serving, &rsrp, now) {
-                    pending.push((*ue_id, target));
+                let serving = self.ues[slot].config().primary_cell();
+                if let Some(target) = self
+                    .handover
+                    .observe(ue_id, serving, &self.rsrp_scratch, now)
+                {
+                    self.pending_handovers.push((ue_id, target));
                 }
             }
         }
-        self.rsrp_scratch = rsrp;
 
         // --- Phase 2: execute handovers decided this measurement round. ----
-        for (ue_id, target) in pending.drain(..) {
-            let event = self.execute_handover(ue_id, target, now, &mut report.deliveries);
-            report.handovers.push(event);
+        if !self.pending_handovers.is_empty() {
+            let mut pending = std::mem::take(&mut self.pending_handovers);
+            for (ue_id, target) in pending.drain(..) {
+                let event = self.execute_handover(ue_id, target, now, &mut report.deliveries);
+                report.handovers.push(event);
+            }
+            self.pending_handovers = pending;
         }
-        self.pending_handovers = pending;
 
         // --- Phase 3: tick every cell and deliver its outcomes to the UEs. --
         if report.cell_reports.len() != self.cells.len() {
@@ -399,24 +418,26 @@ impl CellularNetwork {
                 .collect();
         }
         self.alloc_scratch.clear();
-        for (i, cell) in self.cells.iter_mut().enumerate() {
+        self.alloc_scratch.resize(self.ues.len(), 0);
+        for i in 0..self.cells.len() {
             let cell_report = &mut report.cell_reports[i];
-            cell.tick_into(subframe, &self.channel_scratch[i], cell_report);
+            let cell = &mut self.cells[i];
+            cell.tick_prepared(subframe, cell_report);
+            let cell_id = cell.id();
             report
                 .dci_messages
                 .extend_from_slice(&cell_report.dci_messages);
             for alloc in &cell_report.prb_usage.allocations {
-                if self.ues.contains_key(&alloc.ue) {
-                    *self.alloc_scratch.entry(alloc.ue).or_insert(0) += u32::from(alloc.num_prbs);
+                if let Some(slot) = self.ue_slots.slot_of(alloc.ue) {
+                    self.alloc_scratch[slot] += u32::from(alloc.num_prbs);
                 }
             }
-            let cell_id = cell.id();
             for (owner, outcome) in &cell_report.outcomes {
-                let Some(ue) = self.ues.get_mut(owner) else {
+                let Some(slot) = self.ue_slots.slot_of(*owner) else {
                     continue;
                 };
                 self.event_scratch.clear();
-                ue.process_outcome(cell_id, outcome, now, &mut self.event_scratch);
+                self.ues[slot].process_outcome(cell_id, outcome, now, &mut self.event_scratch);
                 for e in &self.event_scratch {
                     let bytes = self.packet_bytes.remove(&e.packet_id).unwrap_or(0);
                     report.deliveries.push(Delivery {
@@ -433,26 +454,28 @@ impl CellularNetwork {
 
         // --- Phase 4: drive carrier aggregation from this subframe's
         // allocations. --------------------------------------------------------
-        for ue_id in &ue_ids {
-            let ue = self.ues.get(ue_id).expect("ue exists");
-            let n_active = self.active_count(ue.config());
-            let active = &ue.config().configured_cells[..n_active];
+        for slot in 0..self.ues.len() {
+            let ue_id = self.ue_slots.ids()[slot];
+            let n_active = self.active_count(self.ues[slot].config());
+            let active = &self.ues[slot].config().configured_cells[..n_active];
             let active_cell_prbs: u32 = active
                 .iter()
                 .filter_map(|c| self.config.cell(*c))
                 .map(|c| u32::from(c.total_prbs()))
                 .sum();
-            let queued_bits = self.queue_bits(*ue_id);
+            let queued_bits = self.queue_bits(ue_id);
             let obs = CaObservation {
-                allocated_prbs: self.alloc_scratch.get(ue_id).copied().unwrap_or(0),
+                allocated_prbs: self.alloc_scratch[slot],
                 active_cell_prbs,
                 queued_bits,
             };
-            if let Some(event) = self.ca.observe(&self.config, ue.config(), obs, now) {
+            if let Some(event) = self
+                .ca
+                .observe(&self.config, self.ues[slot].config(), obs, now)
+            {
                 report.ca_events.push(event);
             }
         }
-        self.ue_ids = ue_ids;
     }
 
     /// Switch the serving cell of one UE: drain and forward everything the
@@ -467,7 +490,7 @@ impl CellularNetwork {
         deliveries: &mut Vec<Delivery>,
     ) -> HandoverEvent {
         let (rnti, from, active): (Rnti, CellId, Vec<CellId>) = {
-            let ue = self.ues.get(&ue_id).expect("ue exists");
+            let ue = self.ue(ue_id).expect("ue exists");
             let n = self.active_count(ue.config());
             (
                 ue.rnti(),
@@ -477,7 +500,8 @@ impl CellularNetwork {
         };
 
         // Source side: take the queued + in-flight payload of every active
-        // cell (serving first), in order.
+        // cell (serving first), in order.  Detaching also drops any channel
+        // state staged for this subframe on those cells.
         let mut forwarded: Vec<QueuedPacket> = Vec::new();
         for cell_id in &active {
             if let Some(cell) = self.cell_mut(*cell_id) {
@@ -492,7 +516,7 @@ impl CellularNetwork {
         // data, or the target cell would regenerate a second final segment
         // from the stale remainder and the packet would be delivered twice.
         for cell_id in &active {
-            let ue = self.ues.get_mut(&ue_id).expect("ue exists");
+            let ue = self.ue_mut(ue_id).expect("ue exists");
             let events = ue.flush_cell(*cell_id, now);
             for e in &events {
                 let bytes = self.packet_bytes.remove(&e.packet_id).unwrap_or(0);
@@ -515,13 +539,17 @@ impl CellularNetwork {
         // aggregation may later re-activate one of the old cells as a
         // secondary, and an unattached cell would silently black-hole the
         // flow-split packets routed to it.
-        self.ues
-            .get_mut(&ue_id)
+        self.ue_mut(ue_id)
             .expect("ue exists")
             .promote_primary(target);
         self.ca.reset(ue_id);
         self.handover.note_handover(ue_id, now);
-        let configured = self.ues[&ue_id].config().configured_cells.clone();
+        let configured = self
+            .ue(ue_id)
+            .expect("ue exists")
+            .config()
+            .configured_cells
+            .clone();
         for cell_id in configured {
             if let Some(cell) = self.cell_mut(cell_id) {
                 cell.attach(ue_id, rnti);
@@ -532,22 +560,18 @@ impl CellularNetwork {
                 cell.enqueue(ue_id, pkt);
             }
         }
-        // The target becomes the UE's only active cell this subframe: make
-        // its channel state available to the scheduler (re-sampling within
-        // the same subframe returns the cached fade, so this draws nothing
-        // new), and drop the now-inactive old cells from the scratch.
-        for cell_id in &active {
-            if let Some(&idx) = self.cell_index.get(cell_id) {
-                self.channel_scratch[idx].remove(&ue_id);
-            }
-        }
+        // The target becomes the UE's only active cell this subframe: stage
+        // its channel state for the scheduler (re-sampling within the same
+        // subframe returns the cached fade, so this draws nothing new).  The
+        // old cells lost their staged states when the UE detached.
         let state = self
-            .ues
-            .get_mut(&ue_id)
+            .ue_mut(ue_id)
             .expect("ue exists")
             .sample_channel(target, now);
-        if let (Some(state), Some(&idx)) = (state, self.cell_index.get(&target)) {
-            self.channel_scratch[idx].insert(ue_id, state);
+        if let Some(state) = state {
+            if let Some(cell) = self.cell_mut(target) {
+                cell.set_channel(ue_id, state);
+            }
         }
         HandoverEvent {
             ue: ue_id,
@@ -559,8 +583,7 @@ impl CellularNetwork {
 
     /// Receive-side statistics of a UE: `(delivered, lost)` packet counts.
     pub fn ue_stats(&self, ue: UeId) -> (u64, u64) {
-        self.ues
-            .get(&ue)
+        self.ue(ue)
             .map(|u| (u.packets_delivered, u.packets_lost))
             .unwrap_or((0, 0))
     }

@@ -73,6 +73,12 @@ pub struct EqualShareScheduler {
     /// Round-robin rotation offset so that ties in the remainder distribution
     /// do not systematically favour low-numbered users.
     rotation: usize,
+    /// Scratch: `(demand, granted)` pairs, reused across subframes.
+    granted: Vec<(Demand, u16)>,
+    /// Scratch: data demands and their running grants.
+    data: Vec<(Demand, u16)>,
+    /// Scratch: indices into `data` still below their demand.
+    unsatisfied: Vec<usize>,
 }
 
 impl EqualShareScheduler {
@@ -87,8 +93,21 @@ impl EqualShareScheduler {
     /// are allowed (e.g. a retransmission plus new data) and produce separate
     /// allocations.
     pub fn schedule(&mut self, total_prbs: u16, demands: &[Demand]) -> ScheduleResult {
+        let mut result = ScheduleResult::default();
+        self.schedule_into(total_prbs, demands, &mut result);
+        result
+    }
+
+    /// Allocate into a caller-owned result, reusing the scheduler's scratch
+    /// buffers — the allocation-free variant the per-subframe tick uses.
+    pub fn schedule_into(
+        &mut self,
+        total_prbs: u16,
+        demands: &[Demand],
+        result: &mut ScheduleResult,
+    ) {
         let mut remaining = total_prbs;
-        let mut granted: Vec<(Demand, u16)> = Vec::with_capacity(demands.len());
+        self.granted.clear();
 
         // Pass 1: retransmissions get exactly what they ask for (clipped at
         // what is left, in arrival order).
@@ -98,7 +117,7 @@ impl EqualShareScheduler {
         {
             let g = d.prbs.min(remaining);
             remaining -= g;
-            granted.push((*d, g));
+            self.granted.push((*d, g));
         }
 
         // Pass 2: control traffic (small fixed grants).
@@ -108,50 +127,53 @@ impl EqualShareScheduler {
         {
             let g = d.prbs.min(remaining);
             remaining -= g;
-            granted.push((*d, g));
+            self.granted.push((*d, g));
         }
 
         // Pass 3: equal-share water-filling among data users.
-        let mut data: Vec<(usize, Demand, u16)> = demands
-            .iter()
-            .filter(|d| d.class == DemandClass::Data && d.prbs > 0)
-            .enumerate()
-            .map(|(i, d)| (i, *d, 0u16))
-            .collect();
-        if !data.is_empty() && remaining > 0 {
+        self.data.clear();
+        self.data.extend(
+            demands
+                .iter()
+                .filter(|d| d.class == DemandClass::Data && d.prbs > 0)
+                .map(|d| (*d, 0u16)),
+        );
+        if !self.data.is_empty() && remaining > 0 {
             // Iteratively hand out the fair share; users whose demand is
             // satisfied release their unused share to the others.
             loop {
-                let unsatisfied: Vec<usize> = data
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, (_, d, got))| *got < d.prbs)
-                    .map(|(idx, _)| idx)
-                    .collect();
-                if unsatisfied.is_empty() || remaining == 0 {
+                self.unsatisfied.clear();
+                self.unsatisfied.extend(
+                    self.data
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (d, got))| *got < d.prbs)
+                        .map(|(idx, _)| idx),
+                );
+                if self.unsatisfied.is_empty() || remaining == 0 {
                     break;
                 }
-                let share = remaining / unsatisfied.len() as u16;
+                let share = remaining / self.unsatisfied.len() as u16;
                 if share == 0 {
                     // Fewer PRBs than users: hand the rest out one by one,
                     // starting at the rotation offset for long-run fairness.
-                    let n = unsatisfied.len();
+                    let n = self.unsatisfied.len();
                     for k in 0..n {
                         if remaining == 0 {
                             break;
                         }
-                        let idx = unsatisfied[(k + self.rotation) % n];
-                        data[idx].2 += 1;
+                        let idx = self.unsatisfied[(k + self.rotation) % n];
+                        self.data[idx].1 += 1;
                         remaining -= 1;
                     }
                     break;
                 }
                 let mut progress = false;
-                for &idx in &unsatisfied {
-                    let want = data[idx].1.prbs - data[idx].2;
+                for &idx in &self.unsatisfied {
+                    let want = self.data[idx].0.prbs - self.data[idx].1;
                     let give = want.min(share);
                     if give > 0 {
-                        data[idx].2 += give;
+                        self.data[idx].1 += give;
                         remaining -= give;
                         progress = true;
                     }
@@ -162,28 +184,25 @@ impl EqualShareScheduler {
             }
             self.rotation = self.rotation.wrapping_add(1);
         }
-        for (_, d, got) in data {
-            if got > 0 {
-                granted.push((d, got));
+        for (d, got) in &self.data {
+            if *got > 0 {
+                self.granted.push((*d, *got));
             }
         }
 
         // Lay the allocations out contiguously from PRB 0.
-        let mut allocations = Vec::with_capacity(granted.len());
+        result.allocations.clear();
         let mut cursor = 0u16;
-        for (d, g) in granted.into_iter().filter(|(_, g)| *g > 0) {
-            allocations.push(PrbAllocation {
+        for (d, g) in self.granted.iter().filter(|(_, g)| *g > 0) {
+            result.allocations.push(PrbAllocation {
                 ue: d.ue,
                 rnti: d.rnti,
                 first_prb: cursor,
-                num_prbs: g,
+                num_prbs: *g,
             });
             cursor += g;
         }
-        ScheduleResult {
-            allocations,
-            idle_prbs: total_prbs - cursor,
-        }
+        result.idle_prbs = total_prbs - cursor;
     }
 }
 

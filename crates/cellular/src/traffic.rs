@@ -193,8 +193,17 @@ impl BackgroundTraffic {
     }
 
     /// Generate the background grants for one subframe.
-    pub fn tick(&mut self, _subframe: u64) -> Vec<BackgroundGrant> {
+    pub fn tick(&mut self, subframe: u64) -> Vec<BackgroundGrant> {
         let mut grants = Vec::new();
+        self.tick_into(subframe, &mut grants);
+        grants
+    }
+
+    /// Generate the background grants for one subframe into a caller-owned
+    /// buffer (cleared first) — the allocation-free variant used by the
+    /// per-subframe cell tick.
+    pub fn tick_into(&mut self, _subframe: u64, grants: &mut Vec<BackgroundGrant>) {
+        grants.clear();
 
         // Control-traffic users: appear for exactly one subframe, 4 PRBs.
         let control_count = self.rng.poisson(self.profile.control_arrivals_per_subframe);
@@ -250,25 +259,27 @@ impl BackgroundTraffic {
             s.remaining_subframes -= 1;
         }
         self.sessions.retain(|s| s.remaining_subframes > 0);
-
-        grants
     }
 
     /// Convert grants into scheduler demands.
     pub fn to_demands(grants: &[BackgroundGrant]) -> Vec<Demand> {
-        grants
-            .iter()
-            .map(|g| Demand {
-                ue: g.ue,
-                rnti: g.rnti,
-                prbs: g.prbs,
-                class: if g.is_control {
-                    DemandClass::Control
-                } else {
-                    DemandClass::Data
-                },
-            })
-            .collect()
+        let mut demands = Vec::with_capacity(grants.len());
+        BackgroundTraffic::append_demands(grants, &mut demands);
+        demands
+    }
+
+    /// Append the demands for a slice of grants to a caller-owned buffer.
+    pub fn append_demands(grants: &[BackgroundGrant], demands: &mut Vec<Demand>) {
+        demands.extend(grants.iter().map(|g| Demand {
+            ue: g.ue,
+            rnti: g.rnti,
+            prbs: g.prbs,
+            class: if g.is_control {
+                DemandClass::Control
+            } else {
+                DemandClass::Data
+            },
+        }));
     }
 }
 

@@ -425,10 +425,11 @@ impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     }
 }
 
-impl<K, V> Deserialize for HashMap<K, V>
+impl<K, V, S> Deserialize for HashMap<K, V, S>
 where
     K: Deserialize + std::hash::Hash + Eq,
     V: Deserialize,
+    S: std::hash::BuildHasher + Default,
 {
     fn deserialize(value: &Value) -> Result<Self, Error> {
         value

@@ -17,8 +17,8 @@ use crate::client::{PbeClient, PbeClientConfig};
 use pbe_cc_algorithms::api::PbeFeedback;
 use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::config::{CellId, Rnti};
-use pbe_cellular::dci::DciMessage;
 use pbe_cellular::handover::HandoverEvent;
+use pbe_pdcch::batch::DciBatch;
 use pbe_pdcch::decoder::{ControlChannelDecoder, DecoderConfig};
 use pbe_pdcch::fusion::MessageFusion;
 use pbe_stats::time::Instant;
@@ -46,9 +46,10 @@ pub trait ReceiverAgent: Send {
     ) {
     }
 
-    /// One subframe elapsed; `dci_messages` is everything transmitted on the
-    /// PDCCHs of the network this subframe.
-    fn on_subframe(&mut self, _subframe: u64, _dci_messages: &[DciMessage]) {}
+    /// One subframe elapsed; `batch` carries everything transmitted on the
+    /// PDCCHs of the network this subframe, grouped by cell so a multi-cell
+    /// agent can hand each per-cell decoder only its own messages.
+    fn on_subframe(&mut self, _batch: &DciBatch<'_>) {}
 
     /// The sender's current smoothed RTT, for sizing averaging windows.
     fn set_rtprop_ms(&mut self, _rtprop_ms: f64) {}
@@ -168,18 +169,23 @@ impl ReceiverAgent for PbeReceiverAgent {
         self.client.on_handover(event.to, target_total_prbs);
     }
 
-    fn on_subframe(&mut self, subframe: u64, dci_messages: &[DciMessage]) {
+    fn on_subframe(&mut self, batch: &DciBatch<'_>) {
+        let subframe = batch.subframe();
         let mut fused_ready = Vec::new();
         for (cell, decoder) in self.decoders.iter_mut() {
+            // Each decoder sees only its own cell's slice of the stream:
+            // same decode (the decoder filters by cell anyway, and draws
+            // randomness only for matching messages), far less scanning.
+            let messages = batch.cell_messages(*cell);
             if decoder.is_resynchronising(subframe) {
                 // Feed nothing into fusion during the re-acquisition gap: a
                 // blind decoder's "empty subframe" is absence of telemetry,
                 // not evidence of an idle cell, and must not enter the
                 // monitor's averaging window.
-                decoder.decode_subframe(subframe, dci_messages);
+                decoder.decode_subframe(subframe, messages);
                 continue;
             }
-            let decoded = decoder.decode_subframe(subframe, dci_messages);
+            let decoded = decoder.decode_subframe(subframe, messages);
             fused_ready.extend(self.fusion.ingest(*cell, subframe, decoded));
         }
         for fused in fused_ready {
@@ -199,8 +205,14 @@ impl ReceiverAgent for PbeReceiverAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pbe_cellular::dci::DciFormat;
+    use pbe_cellular::dci::{DciFormat, DciMessage};
     use pbe_cellular::mcs::McsIndex;
+    use pbe_pdcch::batch::DciBatcher;
+
+    fn feed(agent: &mut impl ReceiverAgent, subframe: u64, messages: &[DciMessage]) {
+        let mut batcher = DciBatcher::new();
+        agent.on_subframe(&batcher.batch(subframe, messages));
+    }
 
     fn ctx() -> ReceiverCtx {
         ReceiverCtx {
@@ -230,7 +242,7 @@ mod tests {
     #[test]
     fn null_agent_never_produces_feedback() {
         let mut agent = NullReceiverAgent;
-        agent.on_subframe(3, &[]);
+        feed(&mut agent, 3, &[]);
         agent.set_rtprop_ms(40.0);
         assert!(agent.on_packet(Instant::from_millis(5), 21.0).is_none());
     }
@@ -239,7 +251,7 @@ mod tests {
     fn pbe_agent_produces_capacity_feedback() {
         let mut agent = PbeReceiverAgent::new(&ctx());
         for sf in 0..60u64 {
-            agent.on_subframe(sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
+            feed(&mut agent, sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
         }
         let fb = agent
             .on_packet(Instant::from_millis(60), 21.0)
@@ -252,7 +264,7 @@ mod tests {
     fn handover_swaps_the_pipeline_and_rides_through_the_gap() {
         let mut agent = PbeReceiverAgent::new(&ctx());
         for sf in 0..60u64 {
-            agent.on_subframe(sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
+            feed(&mut agent, sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
         }
         let before = agent
             .on_packet(Instant::from_millis(60), 21.0)
@@ -273,7 +285,7 @@ mod tests {
         // During the re-acquisition gap (subframes 61..101) the monitor sees
         // nothing and feedback rides on the pre-handover estimate.
         for sf in 61..101u64 {
-            agent.on_subframe(sf, &[dci(CellId(1), Rnti(0x0100), 40, sf)]);
+            feed(&mut agent, sf, &[dci(CellId(1), Rnti(0x0100), 40, sf)]);
         }
         let during = agent
             .on_packet(Instant::from_millis(100), 21.0)
@@ -287,7 +299,7 @@ mod tests {
         // After the gap the new cell's grants flow again and the estimate
         // re-converges (40 of 50 PRBs to us, rest idle => full small cell).
         for sf in 101..160u64 {
-            agent.on_subframe(sf, &[dci(CellId(1), Rnti(0x0100), 40, sf)]);
+            feed(&mut agent, sf, &[dci(CellId(1), Rnti(0x0100), 40, sf)]);
         }
         assert!(!agent.client().is_holding_estimates());
         let after = agent

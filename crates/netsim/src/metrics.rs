@@ -131,9 +131,22 @@ impl Observer for MetricsCollector {
                     if cr.cell != self.primary_cell {
                         continue;
                     }
-                    for (ue, flow_id) in &self.flow_of_ue {
-                        let prbs = cr.prb_usage.allocated_to(*ue);
-                        *self.prb_accum.entry(*flow_id).or_insert(0.0) += f64::from(prbs);
+                    // Every tracked flow owns an interval entry even when it
+                    // was never scheduled (intervals report explicit zeros);
+                    // refill once after each interval's drain.
+                    if self.prb_accum.len() != self.flow_of_ue.len() {
+                        for flow_id in self.flow_of_ue.values() {
+                            self.prb_accum.entry(*flow_id).or_insert(0.0);
+                        }
+                    }
+                    // One pass over the subframe's allocation list instead of
+                    // one full `allocated_to` scan per tracked UE.
+                    for a in &cr.prb_usage.allocations {
+                        if let Some(flow_id) = self.flow_of_ue.get(&a.ue) {
+                            if let Some(total) = self.prb_accum.get_mut(flow_id) {
+                                *total += f64::from(a.num_prbs);
+                            }
+                        }
                     }
                 }
                 let t_ms = now.as_millis();

@@ -24,6 +24,7 @@ use pbe_cellular::handover::HandoverEvent;
 use pbe_cellular::network::{CellularNetwork, NetworkTickReport};
 use pbe_cellular::traffic::CellLoadProfile;
 use pbe_core::receiver::{ReceiverAgent, ReceiverCtx};
+use pbe_pdcch::batch::DciBatcher;
 use pbe_stats::time::{Duration, Instant};
 use pbe_stats::DetRng;
 use serde::{Deserialize, Serialize};
@@ -299,6 +300,9 @@ impl Simulation {
         // and refilled in place, so the per-subframe loop stops allocating
         // once they reach their working size.
         let mut report = NetworkTickReport::default();
+        // Likewise one DCI batcher: its per-cell run table is rebuilt in
+        // place every subframe.
+        let mut batcher = DciBatcher::new();
         let total_ms = cfg.duration.as_millis();
         for t_ms in 0..total_ms {
             let now = Instant::from_millis(t_ms);
@@ -478,9 +482,13 @@ impl Simulation {
             }
 
             // 6. Receiver agents observe this subframe's control channels.
+            //    The stream is grouped by cell once, so every agent hands its
+            //    per-cell decoders pre-sliced message runs instead of each
+            //    decoder re-scanning the whole network's DCI traffic.
             let subframe = now.subframe_index();
+            let batch = batcher.batch(subframe, &report.dci_messages);
             for flow in flows.iter_mut() {
-                flow.receiver.on_subframe(subframe, &report.dci_messages);
+                flow.receiver.on_subframe(&batch);
                 // Keep receiver-side averaging windows matched to the flow RTT.
                 flow.receiver.set_rtprop_ms(flow.srtt.as_millis_f64());
             }

@@ -1,0 +1,158 @@
+//! Per-cell batching of one subframe's DCI stream.
+//!
+//! The network emits the subframe's DCI messages cell by cell, so the
+//! combined stream is a sequence of contiguous per-cell runs.  A receiver
+//! decoding several aggregated carriers used to hand the *whole* stream to
+//! each per-cell blind decoder, which then filtered it down again — an
+//! O(cells × messages) scan per UE per subframe.  [`DciBatcher`] computes
+//! the per-cell runs once, and [`DciBatch::cell_messages`] hands each
+//! decoder exactly its own slice.
+//!
+//! Batching is purely a view: no message is copied, and a decoder given its
+//! cell's slice performs exactly the same random draws as one given the full
+//! stream (the decoder draws only for messages matching its cell).
+
+use pbe_cellular::config::CellId;
+use pbe_cellular::dci::DciMessage;
+
+/// One subframe's DCI messages, grouped by cell.
+///
+/// Borrowed view produced by [`DciBatcher::batch`]; valid for the current
+/// subframe only.
+#[derive(Debug, Clone, Copy)]
+pub struct DciBatch<'a> {
+    subframe: u64,
+    messages: &'a [DciMessage],
+    /// `(cell, start, end)` runs over `messages`, in stream order.
+    runs: &'a [(CellId, usize, usize)],
+}
+
+impl<'a> DciBatch<'a> {
+    /// The subframe these messages were transmitted in.
+    pub fn subframe(&self) -> u64 {
+        self.subframe
+    }
+
+    /// Every message of the subframe, in transmission order.
+    pub fn all(&self) -> &'a [DciMessage] {
+        self.messages
+    }
+
+    /// The messages transmitted by one cell this subframe.
+    ///
+    /// Returns the cell's contiguous run when there is exactly one (the
+    /// normal case: the network appends messages cell by cell).  If the
+    /// stream unexpectedly interleaves a cell's messages, the full stream is
+    /// returned instead — callers filter by cell anyway, so the result is
+    /// identical, just slower.  An empty slice means the cell was silent.
+    pub fn cell_messages(&self, cell: CellId) -> &'a [DciMessage] {
+        let mut found: Option<(usize, usize)> = None;
+        for &(c, start, end) in self.runs {
+            if c == cell {
+                if found.is_some() {
+                    return self.messages;
+                }
+                found = Some((start, end));
+            }
+        }
+        match found {
+            Some((start, end)) => &self.messages[start..end],
+            None => &[],
+        }
+    }
+}
+
+/// Reusable scratch that groups a subframe's DCI stream into per-cell runs.
+///
+/// One batcher per driver loop; [`DciBatcher::batch`] reuses its internal
+/// run vector, so batching allocates nothing once it has reached its working
+/// size.
+#[derive(Debug, Default)]
+pub struct DciBatcher {
+    runs: Vec<(CellId, usize, usize)>,
+}
+
+impl DciBatcher {
+    /// New batcher.
+    pub fn new() -> Self {
+        DciBatcher::default()
+    }
+
+    /// Group `messages` (one subframe's combined DCI stream) by cell.
+    pub fn batch<'a>(&'a mut self, subframe: u64, messages: &'a [DciMessage]) -> DciBatch<'a> {
+        self.runs.clear();
+        for (i, m) in messages.iter().enumerate() {
+            match self.runs.last_mut() {
+                Some((cell, _, end)) if *cell == m.cell && *end == i => *end = i + 1,
+                _ => self.runs.push((m.cell, i, i + 1)),
+            }
+        }
+        DciBatch {
+            subframe,
+            messages,
+            runs: &self.runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbe_cellular::config::Rnti;
+    use pbe_cellular::dci::DciFormat;
+    use pbe_cellular::mcs::McsIndex;
+
+    fn dci(cell: CellId, rnti: u16) -> DciMessage {
+        DciMessage {
+            cell,
+            subframe: 5,
+            rnti: Rnti(rnti),
+            format: DciFormat::Format1,
+            first_prb: 0,
+            num_prbs: 10,
+            mcs: McsIndex(20),
+            spatial_streams: 1,
+            new_data_indicator: true,
+            harq_process: 0,
+            tbs_bits: 12_000,
+        }
+    }
+
+    #[test]
+    fn contiguous_runs_are_sliced_per_cell() {
+        let msgs = vec![
+            dci(CellId(0), 1),
+            dci(CellId(0), 2),
+            dci(CellId(1), 3),
+            dci(CellId(2), 4),
+        ];
+        let mut batcher = DciBatcher::new();
+        let batch = batcher.batch(5, &msgs);
+        assert_eq!(batch.subframe(), 5);
+        assert_eq!(batch.all().len(), 4);
+        assert_eq!(batch.cell_messages(CellId(0)).len(), 2);
+        assert_eq!(batch.cell_messages(CellId(1)).len(), 1);
+        assert_eq!(batch.cell_messages(CellId(1))[0].rnti, Rnti(3));
+        assert_eq!(batch.cell_messages(CellId(2)).len(), 1);
+        assert!(batch.cell_messages(CellId(3)).is_empty());
+    }
+
+    #[test]
+    fn interleaved_cells_fall_back_to_the_full_stream() {
+        let msgs = vec![dci(CellId(0), 1), dci(CellId(1), 2), dci(CellId(0), 3)];
+        let mut batcher = DciBatcher::new();
+        let batch = batcher.batch(0, &msgs);
+        // Cell 0 appears in two runs: the batch hands back everything and
+        // lets the (filtering) decoder sort it out.
+        assert_eq!(batch.cell_messages(CellId(0)).len(), 3);
+        assert_eq!(batch.cell_messages(CellId(1)).len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_batches() {
+        let mut batcher = DciBatcher::new();
+        let batch = batcher.batch(9, &[]);
+        assert!(batch.all().is_empty());
+        assert!(batch.cell_messages(CellId(0)).is_empty());
+    }
+}

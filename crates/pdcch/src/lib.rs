@@ -6,6 +6,8 @@
 //! of the per-cell decoders, and book-keeping each cell's bandwidth occupancy
 //! (paper §5, Fig. 10a).  This crate is that measurement module:
 //!
+//! * [`batch`] — groups one subframe's combined DCI stream into per-cell
+//!   slices so each blind decoder scans only the messages of its own cell.
 //! * [`decoder`] — per-cell blind decoder.  It searches the candidate
 //!   positions/aggregation levels of each subframe's control region, tries
 //!   every DCI format, and recovers the target RNTI from the CRC, with a
@@ -20,10 +22,12 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod decoder;
 pub mod fusion;
 pub mod monitor;
 
+pub use batch::{DciBatch, DciBatcher};
 pub use decoder::{ControlChannelDecoder, DecoderConfig, DecoderStats};
 pub use fusion::{FusedSubframe, MessageFusion};
 pub use monitor::{CellSnapshot, CellStatusMonitor, MonitorConfig};

@@ -16,6 +16,7 @@
 //!   delay, Jain's fairness index over allocated PRBs, …).
 
 pub mod cdf;
+pub mod fxhash;
 pub mod jain;
 pub mod percentile;
 pub mod rng;
@@ -24,6 +25,7 @@ pub mod time;
 pub mod window;
 
 pub use cdf::Cdf;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use jain::jain_index;
 pub use percentile::{percentile, OnlineStats};
 pub use rng::{derive_seed, DetRng};
