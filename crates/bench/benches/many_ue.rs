@@ -35,6 +35,7 @@ fn many_ue_config(ues: u32, duration: Duration) -> SimConfig {
             .map(|i| FlowConfig::bulk(i, UeId(i), SchemeChoice::named("CUBIC"), duration))
             .collect(),
         trajectories: Vec::new(),
+        shards: None,
     }
 }
 

@@ -42,6 +42,7 @@ fn main() {
                 ..FlowConfig::bulk(1, ue, SchemeChoice::FixedRate, duration)
             }],
             trajectories: Vec::new(),
+            shards: None,
         };
         let result = Simulation::new(cfg).run();
         let delays: Vec<f64> = result.flows[0]

@@ -79,7 +79,7 @@ fn run_perf(args: PerfArgs) -> ExitCode {
         .filter(|c| args.cases.is_empty() || args.cases.iter().any(|n| n == c.name))
         .collect();
     if cases.is_empty() {
-        eprintln!("no matching perf cases (available: many_ue, city_scale)");
+        eprintln!("no matching perf cases (available: many_ue, city_scale, metro)");
         return ExitCode::FAILURE;
     }
     let mut rows = Vec::new();

@@ -10,11 +10,15 @@
 //! with a configurable tolerance and exits nonzero on regression — CI runs
 //! it on every push (the `perf-gate` job in `.github/workflows/ci.yml`).
 //!
-//! The two cases are chosen to bracket the hot loop: `many_ue` is the
+//! The cases are chosen to bracket the hot loop: `many_ue` is the
 //! 48-UE single-network scenario the Criterion bench of the same name pins
-//! (CUBIC flows, no PDCCH monitoring — pure scheduler/HARQ/queue cost), and
+//! (CUBIC flows, no PDCCH monitoring — pure scheduler/HARQ/queue cost),
 //! `city_scale` is a 6-cell driving fleet running the full PBE pipeline
-//! (blind decoding, fusion, capacity estimation, handovers).
+//! (blind decoding, fusion, capacity estimation, handovers), and `metro` is
+//! the sharded-engine stressor: 1,000 cells and 100k UEs ticked on four
+//! shards, with a single serial reference run folded into the record so the
+//! speedup (and the worker count it was measured at) lands in
+//! `BENCH_metro.json`.
 
 use crate::sweep::CityScale;
 use pbe_cellular::channel::MobilityTrace;
@@ -53,6 +57,18 @@ pub struct PerfRecord {
     /// is informational — process-wide and monotone across cases — and is
     /// not part of the `--check` comparison.
     pub peak_rss_kb: u64,
+    /// Shard-worker count the case ran with (`None` = serial engine).
+    #[serde(default)]
+    pub workers: Option<usize>,
+    /// One serial reference run of the same scenario, ms per simulated
+    /// second — recorded for sharded cases only, so the speedup below is
+    /// auditable.  Informational; not part of the `--check` comparison.
+    #[serde(default)]
+    pub serial_ms_per_sim_second: Option<f64>,
+    /// `serial_ms_per_sim_second / ms_per_sim_second`: wall-clock speedup of
+    /// the sharded engine over serial on this machine's core count.
+    #[serde(default)]
+    pub speedup_vs_serial: Option<f64>,
 }
 
 /// Outcome of comparing one fresh record against its committed baseline.
@@ -81,7 +97,7 @@ impl CheckOutcome {
     }
 }
 
-/// The two committed gate cases.
+/// The committed gate cases.
 pub fn default_cases() -> Vec<PerfCase> {
     vec![
         PerfCase {
@@ -91,6 +107,10 @@ pub fn default_cases() -> Vec<PerfCase> {
         PerfCase {
             name: "city_scale",
             build: city_scale_config,
+        },
+        PerfCase {
+            name: "metro",
+            build: metro_config,
         },
     ]
 }
@@ -118,6 +138,7 @@ pub fn many_ue_config() -> SimConfig {
             .map(|i| FlowConfig::bulk(i, UeId(i), SchemeChoice::named("CUBIC"), duration))
             .collect(),
         trajectories: Vec::new(),
+        shards: None,
     }
 }
 
@@ -127,6 +148,22 @@ pub fn city_scale_config() -> SimConfig {
     CityScale::driving(3, 2, 24)
         .seconds(2)
         .seed(0xC17)
+        .scenario()
+        .sim_config()
+}
+
+/// The metro stressor: a 40×25 grid (1,000 cells) with 100k driving UEs, 64
+/// foreground CUBIC flows (the rest are radio users supplying handover and
+/// scheduling pressure) over 200 simulated milliseconds, ticked on a
+/// four-shard engine.  Sharded output is byte-identical to serial
+/// (`tests/shard_identity.rs` pins that); this case tracks the wall clock.
+pub fn metro_config() -> SimConfig {
+    CityScale::driving(40, 25, 100_000)
+        .millis(200)
+        .seed(0x3E7)
+        .scheme(SchemeChoice::named("CUBIC"))
+        .flows_cap(64)
+        .shards(4)
         .scenario()
         .sim_config()
 }
@@ -167,6 +204,7 @@ pub fn measure(case: &PerfCase, iterations: usize) -> PerfRecord {
     let probe = (case.build)();
     let simulated_seconds = probe.duration.as_secs_f64();
     let hash = config_hash(&probe);
+    let workers = probe.shards;
     // Warm-up run: page in code and allocator arenas outside the timed runs.
     let _ = Simulation::new(probe).run();
     let mut runs = Vec::with_capacity(iterations);
@@ -185,6 +223,19 @@ pub fn measure(case: &PerfCase, iterations: usize) -> PerfRecord {
     } else {
         (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
     };
+    // Sharded cases fold in one serial reference run of the same scenario so
+    // the record carries an auditable speedup alongside the worker count.
+    let (serial_ms, speedup) = match workers {
+        Some(n) if n > 1 => {
+            let mut cfg = (case.build)();
+            cfg.shards = None;
+            let started = Instant::now();
+            std::hint::black_box(Simulation::new(cfg).run());
+            let ms = started.elapsed().as_secs_f64() * 1000.0 / simulated_seconds;
+            (Some(round3(ms)), Some(round3(ms / median)))
+        }
+        _ => (None, None),
+    };
     PerfRecord {
         name: case.name.to_string(),
         config_hash: hash,
@@ -192,6 +243,9 @@ pub fn measure(case: &PerfCase, iterations: usize) -> PerfRecord {
         ms_per_sim_second: round3(median),
         runs_ms_per_sim_second: runs.iter().map(|r| round3(*r)).collect(),
         peak_rss_kb: peak_rss_kb(),
+        workers,
+        serial_ms_per_sim_second: serial_ms,
+        speedup_vs_serial: speedup,
     }
 }
 
@@ -274,7 +328,26 @@ mod tests {
             ms_per_sim_second: ms,
             runs_ms_per_sim_second: vec![ms],
             peak_rss_kb: 1024,
+            workers: None,
+            serial_ms_per_sim_second: None,
+            speedup_vs_serial: None,
         }
+    }
+
+    #[test]
+    fn records_without_shard_fields_still_deserialize() {
+        // Pre-metro baselines on disk lack the shard fields; they must load.
+        let text = r#"{
+            "name": "many_ue",
+            "config_hash": "h",
+            "simulated_seconds": 1.0,
+            "ms_per_sim_second": 50.0,
+            "runs_ms_per_sim_second": [50.0],
+            "peak_rss_kb": 1024
+        }"#;
+        let rec: PerfRecord = serde_json::from_str(text).unwrap();
+        assert_eq!(rec.workers, None);
+        assert_eq!(rec.speedup_vs_serial, None);
     }
 
     #[test]

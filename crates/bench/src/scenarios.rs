@@ -57,7 +57,7 @@ impl Location {
     /// Build a single-flow simulation config for this location.
     pub fn sim_config(&self, scheme: SchemeChoice, duration: Duration) -> SimConfig {
         let ue = UeId(1);
-        let cells: Vec<CellId> = (0..3).map(|i| CellId(i as u8)).collect();
+        let cells: Vec<CellId> = (0..3).map(|i| CellId(i as u16)).collect();
         SimConfig {
             cellular: CellularConfig::default(),
             load: self.load(),
@@ -69,6 +69,7 @@ impl Location {
             )],
             flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
             trajectories: Vec::new(),
+            shards: None,
         }
     }
 }

@@ -58,9 +58,9 @@ pub struct CityScale {
     /// Scenario label carried into reports.
     pub label: String,
     /// Cell-grid columns (cells sit at the centres of the grid squares).
-    pub cols: u8,
-    /// Cell-grid rows.  `cols × rows` must fit a `u8` cell id space.
-    pub rows: u8,
+    pub cols: u16,
+    /// Cell-grid rows.  `cols × rows` must fit the `u16` cell id space.
+    pub rows: u16,
     /// Distance between neighbouring cell sites, metres.
     pub cell_spacing_m: f64,
     /// Number of roaming devices (one bulk flow each).
@@ -79,11 +79,17 @@ pub struct CityScale {
     pub cells_per_ue: usize,
     /// Sampling step of the compiled RSSI traces, milliseconds.
     pub trace_step_ms: u64,
+    /// Shard count handed to the simulator (`None` = serial tick engine).
+    pub shards: Option<usize>,
+    /// Cap on the number of UEs that get a foreground bulk flow (`None` =
+    /// every UE).  Metro-scale runs register 100k+ radio users but monitor
+    /// a handful of end-to-end flows through them — the many-viewers shape.
+    pub max_flows: Option<u32>,
 }
 
 impl CityScale {
     /// A walking-speed city: pedestrians at 1.4 m/s on a 400 m grid.
-    pub fn walking(cols: u8, rows: u8, ues: u32) -> Self {
+    pub fn walking(cols: u16, rows: u16, ues: u32) -> Self {
         CityScale {
             label: format!("city {cols}x{rows} walk ({ues} UEs)"),
             cols,
@@ -97,11 +103,13 @@ impl CityScale {
             scheme: SchemeChoice::Pbe,
             cells_per_ue: 4,
             trace_step_ms: 250,
+            shards: None,
+            max_flows: None,
         }
     }
 
     /// A driving-speed city: vehicles at 13 m/s (~47 km/h) on a 500 m grid.
-    pub fn driving(cols: u8, rows: u8, ues: u32) -> Self {
+    pub fn driving(cols: u16, rows: u16, ues: u32) -> Self {
         CityScale {
             label: format!("city {cols}x{rows} drive ({ues} UEs)"),
             cell_spacing_m: 500.0,
@@ -113,6 +121,13 @@ impl CityScale {
     /// Set the simulated duration in seconds.
     pub fn seconds(mut self, seconds: u64) -> Self {
         self.duration = Duration::from_secs(seconds);
+        self
+    }
+
+    /// Set the simulated duration in milliseconds (metro-scale runs pay per
+    /// subframe across 100k+ UEs; a few hundred is already a real workout).
+    pub fn millis(mut self, millis: u64) -> Self {
+        self.duration = Duration::from_millis(millis);
         self
     }
 
@@ -134,8 +149,22 @@ impl CityScale {
         self
     }
 
+    /// Tick the city on a sharded engine with this many shards
+    /// (byte-identical to the serial default; only the wall clock changes).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Give only the first `n` UEs a foreground bulk flow; the rest are
+    /// radio users contributing load, handovers and scheduling pressure.
+    pub fn flows_cap(mut self, n: u32) -> Self {
+        self.max_flows = Some(n);
+        self
+    }
+
     /// Position of a cell site, metres.
-    fn cell_position(&self, idx: u8) -> (f64, f64) {
+    fn cell_position(&self, idx: u16) -> (f64, f64) {
         let col = f64::from(idx % self.cols.max(1));
         let row = f64::from(idx / self.cols.max(1));
         (
@@ -147,13 +176,13 @@ impl CityScale {
     /// The cellular network of the city: `cols × rows` 10 MHz cells with the
     /// default CA and handover policies.
     pub fn cellular(&self) -> CellularConfig {
-        let n = u16::from(self.cols) * u16::from(self.rows);
+        let n = u32::from(self.cols) * u32::from(self.rows);
         assert!(n >= 1, "a city needs at least one cell");
-        assert!(n <= 256, "CellId is 8 bits: at most 256 cells");
+        assert!(n <= 65_536, "CellId is 16 bits: at most 65,536 cells");
         CellularConfig {
             cells: (0..n)
                 .map(|i| CellConfig {
-                    id: CellId(i as u8),
+                    id: CellId(i as u16),
                     bandwidth: Bandwidth::Mhz10,
                     carrier_ghz: 1.94,
                     max_spatial_streams: 2,
@@ -199,21 +228,63 @@ impl CityScale {
         path
     }
 
+    /// Cells worth evaluating against one UE path: every cell whose site
+    /// could clear [`CANDIDATE_RSSI_DBM`] somewhere along it, found by grid
+    /// arithmetic instead of scanning the whole metro.  The log-distance
+    /// model puts the candidate bound at ~604 m, so this is a conservative
+    /// superset of the full scan's survivors (one extra spacing of margin):
+    /// excluded cells sit below the candidate floor at every path point and
+    /// the full scan would drop them too — the compiled scenario is
+    /// byte-identical, only the generation cost changes (a 1,000-cell /
+    /// 100k-UE metro compiles ~16 cells per UE instead of 1,000).
+    fn candidate_cells(&self, path: &[(f64, f64, f64)]) -> Vec<u16> {
+        let radius = REFERENCE_DISTANCE_M
+            * 10f64.powf((REFERENCE_RSSI_DBM - CANDIDATE_RSSI_DBM) / (10.0 * PATH_LOSS_EXPONENT))
+            + self.cell_spacing_m;
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(_, x, y) in path {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        let s = self.cell_spacing_m;
+        let cols = u32::from(self.cols.max(1));
+        let rows = u32::from(self.rows.max(1));
+        let lo = |v: f64| (((v - radius) / s - 0.5).floor().max(0.0)) as u32;
+        let hi = |v: f64, n: u32| ((((v + radius) / s - 0.5).ceil().max(0.0)) as u32).min(n - 1);
+        let (lo_col, hi_col) = (lo(min_x), hi(max_x, cols));
+        let (lo_row, hi_row) = (lo(min_y), hi(max_y, rows));
+        let mut ids = Vec::with_capacity(((hi_row - lo_row + 1) * (hi_col - lo_col + 1)) as usize);
+        // Row-major, ascending cell id — the iteration order of the full
+        // scan, which the stable candidate sort below relies on.
+        for row in lo_row..=hi_row {
+            for col in lo_col..=hi_col {
+                ids.push((row * cols + col) as u16);
+            }
+        }
+        ids
+    }
+
     /// Compile the scenario: grid cells, per-UE waypoint trajectories
-    /// lowered to per-cell RSSI traces, one bulk flow per UE under the
-    /// swept scheme.
+    /// lowered to per-cell RSSI traces, one bulk flow per UE (up to
+    /// [`CityScale::max_flows`]) under the swept scheme.
     pub fn scenario(&self) -> ScenarioSpec {
         let cellular = self.cellular();
-        let n_cells = cellular.cells.len() as u8;
         let mut spec = ScenarioSpec::new(self.label.clone(), self.scheme.clone(), self.duration)
             .cellular(cellular)
             .load(self.load)
             .seed(self.seed);
+        spec.shards = self.shards;
         for i in 0..self.ues {
             let ue = UeId(i + 1);
             let path = self.waypoint_path(i);
-            // RSSI trace towards every cell, plus its strongest point.
-            let mut per_cell: Vec<CellPathView> = (0..n_cells)
+            // RSSI trace towards every candidate cell, plus its strongest
+            // point along the path.
+            let mut per_cell: Vec<CellPathView> = self
+                .candidate_cells(&path)
+                .into_iter()
                 .map(|c| {
                     let (cx, cy) = self.cell_position(c);
                     let mut best = f64::NEG_INFINITY;
@@ -260,12 +331,14 @@ impl CityScale {
             for (cell, _, trace) in &per_cell {
                 spec = spec.trajectory(ue, *cell, MobilityTrace::from_secs(trace));
             }
-            spec = spec.flow(FlowConfig::bulk(
-                i + 1,
-                ue,
-                self.scheme.clone(),
-                self.duration,
-            ));
+            if self.max_flows.is_none_or(|cap| i < cap) {
+                spec = spec.flow(FlowConfig::bulk(
+                    i + 1,
+                    ue,
+                    self.scheme.clone(),
+                    self.duration,
+                ));
+            }
         }
         spec
     }
@@ -305,6 +378,44 @@ mod tests {
                     .any(|t| t.ue == cfg.id && t.cell == *cell));
             }
         }
+    }
+
+    #[test]
+    fn candidate_subgrid_keeps_every_in_coverage_cell() {
+        // The subgrid scan must be a superset of the cells the full scan
+        // would keep: any cell within CANDIDATE_RSSI_DBM of any path point.
+        let city = CityScale::driving(8, 6, 12).seconds(10).seed(11);
+        for i in 0..city.ues {
+            let path = city.waypoint_path(i);
+            let candidates = city.candidate_cells(&path);
+            for c in 0..(city.cols * city.rows) {
+                let (cx, cy) = city.cell_position(c);
+                let best = path
+                    .iter()
+                    .map(|(_, x, y)| {
+                        path_loss_rssi_dbm(((x - cx).powi(2) + (y - cy).powi(2)).sqrt())
+                    })
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if best >= CANDIDATE_RSSI_DBM {
+                    assert!(
+                        candidates.contains(&c),
+                        "cell {c} ({best} dBm) missed by the subgrid scan"
+                    );
+                }
+            }
+            // Ascending id order — the full scan's iteration order.
+            assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn flows_cap_limits_foreground_flows() {
+        let spec = CityScale::walking(3, 2, 50)
+            .seconds(2)
+            .flows_cap(4)
+            .scenario();
+        assert_eq!(spec.ues.len(), 50);
+        assert_eq!(spec.flows.len(), 4);
     }
 
     #[test]

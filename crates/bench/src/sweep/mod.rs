@@ -14,7 +14,8 @@
 //!   seed axis.  [`SweepGrid::expand`] produces the full cross product,
 //!   exactly once per point, in a deterministic order.
 //! * [`SweepRunner`] — executes a list of specs across OS threads using the
-//!   in-tree chunked worker [`pool`] (no external dependencies).  Every
+//!   shared in-tree worker pool ([`pbe_stats::pool`], also the dispatch layer
+//!   of the sharded tick engine; no external dependencies).  Every
 //!   scenario's randomness derives from its spec alone
 //!   ([`pbe_stats::derive_seed`]), so a parallel sweep is byte-identical to a
 //!   serial one; only the wall clock changes.
@@ -44,13 +45,12 @@
 //! ```
 
 pub mod city;
-pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
 pub use city::CityScale;
-pub use pool::run_indexed;
+pub use pbe_stats::pool::run_indexed;
 pub use report::{OutputFormat, ReportWriter, SweepArgs};
 pub use runner::{ScenarioOutcome, SweepReport, SweepRunner};
 pub use spec::{ScenarioSpec, SweepGrid};

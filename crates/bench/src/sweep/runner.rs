@@ -1,8 +1,8 @@
 //! Parallel execution of scenario lists and the aggregated sweep report.
 
-use super::pool::run_indexed;
 use super::spec::ScenarioSpec;
 use pbe_netsim::{SimResult, Simulation};
+use pbe_stats::pool::run_indexed;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 

@@ -43,6 +43,11 @@ pub struct ScenarioSpec {
     /// scenario JSON loadable.
     #[serde(default)]
     pub trajectories: Vec<CellTrajectory>,
+    /// Shard count for the cellular tick engine (`None` = serial; any `Some`
+    /// value is byte-identical to serial).  `default` keeps pre-shard
+    /// scenario JSON loadable.
+    #[serde(default)]
+    pub shards: Option<usize>,
 }
 
 impl ScenarioSpec {
@@ -60,6 +65,7 @@ impl ScenarioSpec {
             flows: Vec::new(),
             sweep_flows: Vec::new(),
             trajectories: Vec::new(),
+            shards: None,
         }
     }
 
@@ -80,7 +86,7 @@ impl ScenarioSpec {
     /// seed, with one bulk flow under test.
     pub fn from_location(label: impl Into<String>, loc: &Location, duration: Duration) -> Self {
         let ue = UeId(1);
-        let cells: Vec<CellId> = (0..3).map(|i| CellId(i as u8)).collect();
+        let cells: Vec<CellId> = (0..3).map(|i| CellId(i as u16)).collect();
         ScenarioSpec::new(label, SchemeChoice::Pbe, duration)
             .load(loc.load())
             .seed(loc.seed())
@@ -159,6 +165,7 @@ impl ScenarioSpec {
             ues: self.ues.clone(),
             flows,
             trajectories: self.trajectories.clone(),
+            shards: self.shards,
         }
     }
 

@@ -1,0 +1,52 @@
+//! Serial-vs-sharded byte identity at the scenario level: a scaled-down
+//! metro (the same `CityScale` generator and flow-cap shape as the `metro`
+//! perf case) must serialise to the same `SimResult` JSON on the serial
+//! engine and on every shard count.  This is the acceptance check for the
+//! sharded tick engine at the bench layer; `pbe-cellular` pins the same
+//! property per subframe, and `pbe-netsim` per simulation.
+
+use pbe_bench::sweep::CityScale;
+use pbe_netsim::{SchemeChoice, Simulation};
+
+/// A metro in miniature: multi-column grid so shards get contiguous runs of
+/// cells, driving speed so UEs cross shard boundaries, more UEs than flows.
+fn mini_metro(shards: Option<usize>) -> CityScale {
+    let mut city = CityScale::driving(6, 4, 160)
+        .seconds(8)
+        .seed(0x3E7)
+        .scheme(SchemeChoice::named("CUBIC"))
+        .flows_cap(12);
+    city.shards = shards;
+    city
+}
+
+fn result_json(shards: Option<usize>) -> String {
+    let cfg = mini_metro(shards).scenario().sim_config();
+    let result = Simulation::new(cfg).run();
+    serde_json::to_string(&result).expect("result serialises")
+}
+
+#[test]
+fn metro_is_byte_identical_across_shard_counts() {
+    let serial = result_json(None);
+    for shards in [1usize, 2, 3, 4] {
+        let sharded = result_json(Some(shards));
+        assert_eq!(
+            serial, sharded,
+            "shards={shards} diverged from the serial engine"
+        );
+    }
+}
+
+#[test]
+fn mini_metro_actually_exercises_the_interesting_paths() {
+    // Guard against the identity test passing vacuously: the scenario must
+    // produce handovers (cross-shard UE migration) and deliver flow traffic.
+    let cfg = mini_metro(Some(4)).scenario().sim_config();
+    let result = Simulation::new(cfg).run();
+    assert!(
+        !result.handovers.is_empty(),
+        "mini metro produced no handovers"
+    );
+    assert!(result.flows.iter().any(|f| f.packets_delivered > 100));
+}

@@ -27,8 +27,15 @@ pub struct CaEvent {
     pub at: Instant,
 }
 
+/// Opaque per-UE carrier-aggregation state: the active-cell count, the
+/// activation/deactivation streaks and the ever-aggregated flag.  Normally
+/// internal to a [`CarrierAggregationManager`]; exposed as a movable value
+/// so the sharded engine can migrate a UE's state between shard-local
+/// managers when a handover crosses a shard border
+/// ([`CarrierAggregationManager::take_ue`] /
+/// [`CarrierAggregationManager::restore_ue`]).
 #[derive(Debug, Clone, Default)]
-struct UeCaState {
+pub struct UeCaState {
     /// Number of currently active cells (prefix of the configured list).
     active: usize,
     /// Consecutive subframes of high utilisation.
@@ -93,6 +100,20 @@ impl CarrierAggregationManager {
             state.high_streak = 0;
             state.low_streak = 0;
         }
+    }
+
+    /// Remove and return a UE's CA state.  Shard migration support: the
+    /// `ever_aggregated` flag (and any mid-streak counters) must follow the
+    /// UE to its new shard's manager to stay byte-identical with the serial
+    /// engine's single global manager.
+    pub fn take_ue(&mut self, ue: UeId) -> Option<UeCaState> {
+        self.states.remove(&ue)
+    }
+
+    /// Re-insert a state previously removed with
+    /// [`CarrierAggregationManager::take_ue`].
+    pub fn restore_ue(&mut self, ue: UeId, state: UeCaState) {
+        self.states.insert(ue, state);
     }
 
     /// True if the UE ever had more than one active cell.

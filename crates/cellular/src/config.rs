@@ -4,8 +4,12 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one component carrier (cell).
+///
+/// `u16` so metro-scale grids (1,000+ cells) fit; values up to 255
+/// round-trip identically with configuration JSON written when this was a
+/// `u8`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct CellId(pub u8);
+pub struct CellId(pub u16);
 
 /// Identifier of one user equipment (mobile device).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]

@@ -35,8 +35,13 @@ pub struct HandoverEvent {
     pub at: Instant,
 }
 
+/// Opaque per-UE measurement state: the L3 filters, the A3 candidate timer
+/// and the ping-pong guard.  Normally internal to a [`HandoverManager`];
+/// exposed as a movable value so the sharded engine can migrate a UE's
+/// state between shard-local managers when a handover crosses a shard
+/// border ([`HandoverManager::take_ue`] / [`HandoverManager::restore_ue`]).
 #[derive(Debug, Default)]
-struct UeHandoverState {
+pub struct UeHandoverState {
     /// One L3 filter per measured cell.
     filters: HashMap<CellId, L3Filter>,
     /// The neighbour currently satisfying the A3 condition, if any.
@@ -141,6 +146,20 @@ impl HandoverManager {
         let state = self.states.entry(ue).or_default();
         state.a3_candidate = None;
         state.last_handover = Some(now);
+    }
+
+    /// Remove and return a UE's measurement state.  Shard migration
+    /// support: when a handover moves a UE to a cell owned by another
+    /// shard, its L3 filter history and ping-pong guard must follow it to
+    /// that shard's manager, or the next A3 evaluation would start from
+    /// scratch and diverge from the serial engine.
+    pub fn take_ue(&mut self, ue: UeId) -> Option<UeHandoverState> {
+        self.states.remove(&ue)
+    }
+
+    /// Re-insert a state previously removed with [`HandoverManager::take_ue`].
+    pub fn restore_ue(&mut self, ue: UeId, state: UeHandoverState) {
+        self.states.insert(ue, state);
     }
 
     /// The current filtered RSRP of one (UE, cell) pair, if measured.

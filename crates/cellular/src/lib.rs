@@ -40,6 +40,7 @@ pub mod network;
 pub mod prb;
 pub mod reorder;
 pub mod scheduler;
+pub mod shard;
 pub mod slab;
 pub mod traffic;
 pub mod ue;
@@ -52,4 +53,5 @@ pub use dci::{DciFormat, DciMessage};
 pub use mcs::{Cqi, McsIndex};
 pub use network::{CellularNetwork, Delivery, NetworkTickReport};
 pub use prb::PrbAllocation;
+pub use shard::ShardedNetwork;
 pub use traffic::{BackgroundTraffic, CellLoadProfile};

@@ -72,9 +72,14 @@ pub struct NetworkTickReport {
 pub struct CellularNetwork {
     config: CellularConfig,
     cells: Vec<Cell>,
-    /// Dense CellId → position in `cells` (a CellId is a `u8`, so the full
-    /// id space fits in 256 entries; absent ids hold `usize::MAX`).
+    /// Dense CellId → position in `cells`, sized to the largest configured
+    /// id (metro grids go well past the 256 ids the table used to assume);
+    /// absent ids hold `usize::MAX`.
     cell_lookup: Vec<usize>,
+    /// Dense CellId → PRB count of that cell (0 for absent ids): the
+    /// per-UE-per-subframe CA bookkeeping must not pay a linear scan of the
+    /// cell list for each active cell.
+    prb_lookup: Vec<u32>,
     /// Sorted dense UeId → slot index; `ues` is its parallel value lane.
     /// Slot order is UeId order — the per-subframe iteration order that
     /// keeps scheduling, delivery and RNG-draw order reproducible.
@@ -98,6 +103,25 @@ pub struct CellularNetwork {
     event_scratch: Vec<PacketEvent>,
 }
 
+/// Build the dense CellId → cell-position and CellId → PRB-count tables for
+/// a configuration, sized to the largest configured id (shared by the serial
+/// and sharded engines).
+pub(crate) fn build_cell_lookup(config: &CellularConfig) -> (Vec<usize>, Vec<u32>) {
+    let len = config
+        .cells
+        .iter()
+        .map(|c| usize::from(c.id.0) + 1)
+        .max()
+        .unwrap_or(0);
+    let mut cell_lookup = vec![usize::MAX; len];
+    let mut prb_lookup = vec![0u32; len];
+    for (i, c) in config.cells.iter().enumerate() {
+        cell_lookup[usize::from(c.id.0)] = i;
+        prb_lookup[usize::from(c.id.0)] = u32::from(c.total_prbs());
+    }
+    (cell_lookup, prb_lookup)
+}
+
 impl CellularNetwork {
     /// Build the network with one background-traffic generator per cell using
     /// the given load profile.
@@ -116,15 +140,13 @@ impl CellularNetwork {
                 cell
             })
             .collect();
-        let mut cell_lookup = vec![usize::MAX; 256];
-        for (i, c) in cells.iter().enumerate() {
-            cell_lookup[usize::from(c.id().0)] = i;
-        }
+        let (cell_lookup, prb_lookup) = build_cell_lookup(&config);
         let handover = HandoverManager::new(config.handover);
         CellularNetwork {
             config,
             cells,
             cell_lookup,
+            prb_lookup,
             ue_slots: UeSlots::new(),
             ues: Vec::new(),
             ca: CarrierAggregationManager::new(),
@@ -160,7 +182,16 @@ impl CellularNetwork {
 
     #[inline]
     fn cell_pos(&self, id: CellId) -> usize {
-        self.cell_lookup[usize::from(id.0)]
+        self.cell_lookup
+            .get(usize::from(id.0))
+            .copied()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// PRB count of a cell (0 for unknown ids) via the dense table.
+    #[inline]
+    fn cell_prbs(&self, id: CellId) -> u32 {
+        self.prb_lookup.get(usize::from(id.0)).copied().unwrap_or(0)
     }
 
     fn cell_mut(&mut self, id: CellId) -> Option<&mut Cell> {
@@ -458,11 +489,7 @@ impl CellularNetwork {
             let ue_id = self.ue_slots.ids()[slot];
             let n_active = self.active_count(self.ues[slot].config());
             let active = &self.ues[slot].config().configured_cells[..n_active];
-            let active_cell_prbs: u32 = active
-                .iter()
-                .filter_map(|c| self.config.cell(*c))
-                .map(|c| u32::from(c.total_prbs()))
-                .sum();
+            let active_cell_prbs: u32 = active.iter().map(|c| self.cell_prbs(*c)).sum();
             let queued_bits = self.queue_bits(ue_id);
             let obs = CaObservation {
                 allocated_prbs: self.alloc_scratch[slot],
@@ -966,6 +993,40 @@ mod tests {
         }
         assert_eq!(net_static.serving_cell(ue), Some(CellId(0)));
         assert_eq!(net_ho.serving_cell(ue), Some(CellId(1)));
+    }
+
+    #[test]
+    fn grids_past_256_cells_construct_and_tick() {
+        // The CellId table used to be a fixed 256-entry array; a metro grid
+        // must construct, look cells up, and move data without panicking.
+        use crate::config::{Bandwidth, CellConfig};
+        let config = CellularConfig {
+            cells: (0..300u16)
+                .map(|i| CellConfig {
+                    id: CellId(i),
+                    bandwidth: Bandwidth::Mhz10,
+                    carrier_ghz: 1.94,
+                    max_spatial_streams: 2,
+                })
+                .collect(),
+            ..CellularConfig::default()
+        };
+        let mut net = CellularNetwork::new(config, CellLoadProfile::none(), 1);
+        let ue = UeId(1);
+        net.add_ue(
+            UeConfig::new(ue, vec![CellId(299), CellId(0)], 1, -85.0),
+            MobilityTrace::stationary(-85.0),
+        );
+        assert_eq!(net.serving_cell(ue), Some(CellId(299)));
+        let mut delivered = 0;
+        for sf in 0..50u64 {
+            let now = Instant::from_millis(sf);
+            net.enqueue_packet(ue, sf, 1500, now);
+            let report = net.tick(now);
+            assert_eq!(report.cell_reports.len(), 300);
+            delivered += report.deliveries.iter().filter(|d| d.delivered).count();
+        }
+        assert!(delivered > 0, "data flows on a 300-cell grid");
     }
 
     #[test]

@@ -80,7 +80,7 @@ mod tests {
     use super::*;
     use pbe_cellular::config::CellId;
 
-    fn snapshot(cell: u8, total: u16, own: f64, idle: f64, users: usize, rw: f64) -> CellSnapshot {
+    fn snapshot(cell: u16, total: u16, own: f64, idle: f64, users: usize, rw: f64) -> CellSnapshot {
         CellSnapshot {
             cell: CellId(cell),
             subframe: 100,

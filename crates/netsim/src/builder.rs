@@ -47,6 +47,7 @@ pub struct SimBuilder {
     ues: Vec<(UeConfig, MobilityTrace)>,
     flows: Vec<FlowConfig>,
     trajectories: Vec<CellTrajectory>,
+    shards: Option<usize>,
     table: SchemeTable,
     observers: Vec<Box<dyn Observer>>,
 }
@@ -69,6 +70,7 @@ impl SimBuilder {
             ues: Vec::new(),
             flows: Vec::new(),
             trajectories: Vec::new(),
+            shards: None,
             table: SchemeTable::standard(),
             observers: Vec::new(),
         }
@@ -85,6 +87,7 @@ impl SimBuilder {
             ues: config.ues,
             flows: config.flows,
             trajectories: config.trajectories,
+            shards: config.shards,
             table: SchemeTable::standard(),
             observers: Vec::new(),
         }
@@ -130,6 +133,14 @@ impl SimBuilder {
         self
     }
 
+    /// Tick the radio access network on the sharded engine with this many
+    /// shards.  Results are byte-identical to the serial default for every
+    /// shard count; only the wall clock changes.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
     /// Replace the whole scheme table (rarely needed; prefer
     /// [`SimBuilder::scheme`]).
     pub fn scheme_table(mut self, table: SchemeTable) -> Self {
@@ -170,6 +181,7 @@ impl SimBuilder {
             ues: self.ues.clone(),
             flows: self.flows.clone(),
             trajectories: self.trajectories.clone(),
+            shards: self.shards,
         }
     }
 
@@ -183,6 +195,7 @@ impl SimBuilder {
             ues: self.ues,
             flows: self.flows,
             trajectories: self.trajectories,
+            shards: self.shards,
         };
         Simulation::with_parts(config, self.table, self.observers)
     }

@@ -22,6 +22,7 @@ use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::handover::HandoverEvent;
 use pbe_cellular::network::{CellularNetwork, NetworkTickReport};
+use pbe_cellular::shard::ShardedNetwork;
 use pbe_cellular::traffic::CellLoadProfile;
 use pbe_core::receiver::{ReceiverAgent, ReceiverCtx};
 use pbe_pdcch::batch::DciBatcher;
@@ -52,6 +53,96 @@ pub struct SimConfig {
     /// pre-handover scenario JSON loadable.
     #[serde(default)]
     pub trajectories: Vec<CellTrajectory>,
+    /// Shard count for the cellular tick engine.  `None` (the default, and
+    /// what pre-shard configuration JSON loads as) ticks the radio access
+    /// network serially; `Some(n)` partitions the cell grid into `n`
+    /// geo-contiguous shards ticked in parallel on a persistent worker pool.
+    /// Every shard count produces byte-identical results; only the wall
+    /// clock changes.  When this is `None`, the `PBE_FORCE_SHARDS`
+    /// environment variable (a positive integer) overrides it — the CI lever
+    /// that runs the whole test suite over the sharded path.
+    #[serde(default)]
+    pub shards: Option<usize>,
+}
+
+/// The radio access network behind one simulation: the serial engine, or
+/// the shard-parallel engine when [`SimConfig::shards`] (or the
+/// `PBE_FORCE_SHARDS` environment variable) asks for it.  Both produce
+/// byte-identical reports; the dispatch exists so the serial engine stays
+/// the default and pays no synchronisation cost.
+enum Ran {
+    Serial(CellularNetwork),
+    Sharded(ShardedNetwork),
+}
+
+impl Ran {
+    fn new(cfg: &SimConfig) -> Self {
+        let shards = cfg.shards.or_else(|| {
+            std::env::var("PBE_FORCE_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|n| *n > 0)
+        });
+        match shards {
+            Some(n) => Ran::Sharded(ShardedNetwork::new(
+                cfg.cellular.clone(),
+                cfg.load,
+                cfg.seed,
+                n,
+            )),
+            None => Ran::Serial(CellularNetwork::new(
+                cfg.cellular.clone(),
+                cfg.load,
+                cfg.seed,
+            )),
+        }
+    }
+
+    fn add_ue(&mut self, ue: UeConfig, trace: MobilityTrace) {
+        match self {
+            Ran::Serial(n) => {
+                n.add_ue(ue, trace);
+            }
+            Ran::Sharded(n) => {
+                n.add_ue(ue, trace);
+            }
+        }
+    }
+
+    fn set_cell_trace(&mut self, ue: UeId, cell: CellId, trace: MobilityTrace) {
+        match self {
+            Ran::Serial(n) => n.set_cell_trace(ue, cell, trace),
+            Ran::Sharded(n) => n.set_cell_trace(ue, cell, trace),
+        }
+    }
+
+    fn rnti_of(&self, ue: UeId) -> Option<pbe_cellular::config::Rnti> {
+        match self {
+            Ran::Serial(n) => n.rnti_of(ue),
+            Ran::Sharded(n) => n.rnti_of(ue),
+        }
+    }
+
+    fn enqueue_packet(&mut self, ue: UeId, packet_id: u64, bytes: u32, now: Instant) {
+        match self {
+            Ran::Serial(n) => n.enqueue_packet(ue, packet_id, bytes, now),
+            Ran::Sharded(n) => n.enqueue_packet(ue, packet_id, bytes, now),
+        }
+    }
+
+    fn tick_into(&mut self, now: Instant, report: &mut NetworkTickReport) {
+        match self {
+            Ran::Serial(n) => n.tick_into(now, report),
+            Ran::Sharded(n) => n.tick_into(now, report),
+        }
+    }
+
+    fn carrier_aggregation_triggered(&self, ue: UeId) -> bool {
+        match self {
+            Ran::Serial(n) => n.carrier_aggregation_triggered(ue),
+            Ran::Sharded(n) => n.carrier_aggregation_triggered(ue),
+        }
+    }
 }
 
 /// One per-cell trajectory override of [`SimConfig::trajectories`].
@@ -85,6 +176,7 @@ impl SimConfig {
             )],
             flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
             trajectories: Vec::new(),
+            shards: None,
         }
     }
 }
@@ -223,7 +315,7 @@ impl Simulation {
             .unwrap_or(CellId(0));
         let mut metrics = MetricsCollector::new(&cfg.flows, primary_cell);
 
-        let mut net = CellularNetwork::new(cfg.cellular.clone(), cfg.load, cfg.seed);
+        let mut net = Ran::new(cfg);
         for (ue_cfg, trace) in &cfg.ues {
             net.add_ue(ue_cfg.clone(), trace.clone());
         }
@@ -706,6 +798,7 @@ mod tests {
                 FlowConfig::bulk(2, ue_b, SchemeChoice::Pbe, duration),
             ],
             trajectories: Vec::new(),
+            shards: None,
         };
         let result = Simulation::new(cfg).run();
         let a = result.flows[0].summary.avg_throughput_mbps;
@@ -716,6 +809,26 @@ mod tests {
             "throughput ratio {ratio} ({a} vs {b})"
         );
         assert!(!result.primary_prb_timeline.is_empty());
+    }
+
+    #[test]
+    fn sharded_simulation_is_byte_identical_to_serial() {
+        // The engine dispatch must be invisible end to end: a whole
+        // simulation (flows, metrics, CA on the 3-cell default network)
+        // serialises identically whatever the shard count.
+        let cfg = SimConfig::single_flow(
+            SchemeChoice::Pbe,
+            Duration::from_secs(2),
+            CellLoadProfile::busy(),
+            13,
+        );
+        let serial = serde_json::to_string(&Simulation::new(cfg.clone()).run()).unwrap();
+        for shards in [1usize, 2, 3] {
+            let mut sharded_cfg = cfg.clone();
+            sharded_cfg.shards = Some(shards);
+            let sharded = serde_json::to_string(&Simulation::new(sharded_cfg).run()).unwrap();
+            assert_eq!(serial, sharded, "{shards} shards diverged from serial");
+        }
     }
 
     #[test]

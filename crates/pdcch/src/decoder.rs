@@ -248,7 +248,7 @@ mod tests {
     use pbe_cellular::config::Rnti;
     use pbe_cellular::mcs::McsIndex;
 
-    fn msg(cell: u8, subframe: u64, rnti: u16, prbs: u16) -> DciMessage {
+    fn msg(cell: u16, subframe: u64, rnti: u16, prbs: u16) -> DciMessage {
         DciMessage {
             cell: CellId(cell),
             subframe,

@@ -130,7 +130,7 @@ mod tests {
     use pbe_cellular::dci::DciFormat;
     use pbe_cellular::mcs::McsIndex;
 
-    fn msg(cell: u8, subframe: u64, rnti: u16) -> DciMessage {
+    fn msg(cell: u16, subframe: u64, rnti: u16) -> DciMessage {
         DciMessage {
             cell: CellId(cell),
             subframe,

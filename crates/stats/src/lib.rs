@@ -8,6 +8,9 @@
 //!   the cellular MAC (1 ms subframes are expressed in this base).
 //! * [`rng`] — a splittable, deterministic random-number generator so that a
 //!   single `u64` seed reproduces an entire experiment bit-for-bit.
+//! * [`pool`] — the in-tree worker pool: one-shot [`run_indexed`] for the
+//!   sweep harness and the persistent [`WorkerPool`] the sharded tick engine
+//!   dispatches shard batches on every subframe.
 //! * [`percentile`](mod@percentile), [`cdf`], [`window`], [`jain`],
 //!   [`summary`] — the
 //!   order-statistics, empirical-CDF, time-window aggregation, fairness-index
@@ -19,6 +22,7 @@ pub mod cdf;
 pub mod fxhash;
 pub mod jain;
 pub mod percentile;
+pub mod pool;
 pub mod rng;
 pub mod summary;
 pub mod time;
@@ -28,6 +32,7 @@ pub use cdf::Cdf;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use jain::jain_index;
 pub use percentile::{percentile, OnlineStats};
+pub use pool::{run_indexed, WorkerPool};
 pub use rng::{derive_seed, DetRng};
 pub use summary::FlowSummary;
 pub use time::{Duration, Instant, MICROS_PER_MS, MICROS_PER_SEC};

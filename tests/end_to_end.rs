@@ -121,6 +121,7 @@ fn pbe_detects_an_internet_bottleneck_and_bounds_its_delay() {
         flows: vec![FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)
             .with_wired_bottleneck(15e6, 150_000)],
         trajectories: Vec::new(),
+        shards: None,
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
@@ -168,6 +169,7 @@ fn two_pbe_flows_with_different_rtts_share_prbs_fairly() {
                 .with_one_way_delay(Duration::from_millis(148)),
         ],
         trajectories: Vec::new(),
+        shards: None,
     };
     let result = Simulation::new(cfg).run();
     // Jain's index over the primary-cell PRBs in the second half of the run
@@ -296,6 +298,7 @@ fn mobility_walk_keeps_pbe_delay_bounded() {
         )],
         flows: vec![FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)],
         trajectories: Vec::new(),
+        shards: None,
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
