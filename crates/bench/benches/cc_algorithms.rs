@@ -18,6 +18,7 @@ fn ack(i: u64, with_pbe: bool) -> AckInfo {
         delivery_rate_bps: 30e6 + (i % 11) as f64 * 1e5,
         inflight_bytes: 150_000,
         loss_detected: false,
+        ecn_ce: false,
         pbe: with_pbe.then(|| PbeFeedback {
             capacity_interval_us: PbeFeedback::interval_from_rate(45e6),
             internet_bottleneck: false,

@@ -36,6 +36,7 @@ fn many_ue_config(ues: u32, duration: Duration) -> SimConfig {
             .collect(),
         trajectories: Vec::new(),
         shards: None,
+        backhaul: None,
     }
 }
 

@@ -43,6 +43,7 @@ fn main() {
             }],
             trajectories: Vec::new(),
             shards: None,
+            backhaul: None,
         };
         let result = Simulation::new(cfg).run();
         let delays: Vec<f64> = result.flows[0]

@@ -5,7 +5,8 @@
 //!                [--baseline-dir DIR] [--out-dir DIR] [--case NAME]...
 //! ```
 //!
-//! `perf` runs the deterministic wall-clock cases (`many_ue`, `city_scale`),
+//! `perf` runs the deterministic wall-clock cases (`many_ue`, `city_scale`,
+//! `metro`, `fanout`),
 //! writes `BENCH_<name>.json` into `--out-dir`, and prints the markdown
 //! delta table.  With `--check` it compares each case against the committed
 //! `BENCH_<name>.json` in `--baseline-dir` and exits 1 if any case regressed
@@ -79,7 +80,7 @@ fn run_perf(args: PerfArgs) -> ExitCode {
         .filter(|c| args.cases.is_empty() || args.cases.iter().any(|n| n == c.name))
         .collect();
     if cases.is_empty() {
-        eprintln!("no matching perf cases (available: many_ue, city_scale, metro)");
+        eprintln!("no matching perf cases (available: many_ue, city_scale, metro, fanout)");
         return ExitCode::FAILURE;
     }
     let mut rows = Vec::new();

@@ -18,9 +18,10 @@
 //! the sharded-engine stressor: 1,000 cells and 100k UEs ticked on four
 //! shards, with a single serial reference run folded into the record so the
 //! speedup (and the worker count it was measured at) lands in
-//! `BENCH_metro.json`.
+//! `BENCH_metro.json`.  `fanout` routes 960 CUBIC flows through one shared
+//! aggregation link, pricing the backhaul subsystem's analytic walk.
 
-use crate::sweep::CityScale;
+use crate::sweep::{CityScale, Fanout};
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
@@ -112,6 +113,10 @@ pub fn default_cases() -> Vec<PerfCase> {
             name: "metro",
             build: metro_config,
         },
+        PerfCase {
+            name: "fanout",
+            build: fanout_config,
+        },
     ]
 }
 
@@ -139,6 +144,7 @@ pub fn many_ue_config() -> SimConfig {
             .collect(),
         trajectories: Vec::new(),
         shards: None,
+        backhaul: None,
     }
 }
 
@@ -164,6 +170,20 @@ pub fn metro_config() -> SimConfig {
         .scheme(SchemeChoice::named("CUBIC"))
         .flows_cap(64)
         .shards(4)
+        .scenario()
+        .sim_config()
+}
+
+/// The shared-backhaul stressor: 960 CUBIC flows from one server fanning
+/// out over 24 cells behind a single 480 Mbit/s aggregation link, one
+/// simulated second.  Every packet of every flow crosses the analytic
+/// backhaul walk (ingress heap, per-link queues, marking), so this case
+/// tracks the cost the backhaul subsystem adds on top of the radio tick.
+pub fn fanout_config() -> SimConfig {
+    Fanout::new(24, 960)
+        .seconds(1)
+        .seed(0xFA0)
+        .agg(480e6, 1_200_000)
         .scenario()
         .sim_config()
 }

@@ -70,6 +70,7 @@ impl Location {
             flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
             trajectories: Vec::new(),
             shards: None,
+            backhaul: None,
         }
     }
 }

@@ -30,6 +30,10 @@
 //!   log-distance path-loss model with a fleet of UEs on random-waypoint
 //!   trajectories, compiled into per-cell RSSI traces that exercise the
 //!   inter-cell handover machinery at scale.
+//! * [`fanout`] — the `fanout` scenario family: one server fanning out to
+//!   many cells behind one shared aggregation link
+//!   ([`pbe_netsim::BackhaulConfig`]), the scenario where the bottleneck
+//!   migrates from the radio into the backhaul.
 //!
 //! ```
 //! use pbe_bench::sweep::{ScenarioSpec, SweepGrid, SweepRunner};
@@ -45,11 +49,13 @@
 //! ```
 
 pub mod city;
+pub mod fanout;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
 pub use city::CityScale;
+pub use fanout::Fanout;
 pub use pbe_stats::pool::run_indexed;
 pub use report::{OutputFormat, ReportWriter, SweepArgs};
 pub use runner::{ScenarioOutcome, SweepReport, SweepRunner};

@@ -4,7 +4,9 @@ use crate::scenarios::Location;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{CellTrajectory, FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation};
+use pbe_netsim::{
+    BackhaulConfig, CellTrajectory, FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation,
+};
 use pbe_stats::rng::derive_seed;
 use pbe_stats::time::Duration;
 use serde::{Deserialize, Serialize};
@@ -48,6 +50,11 @@ pub struct ScenarioSpec {
     /// scenario JSON loadable.
     #[serde(default)]
     pub shards: Option<usize>,
+    /// Shared wired backhaul topology (`None` = per-flow private paths; see
+    /// [`SimConfig::backhaul`]).  `default` keeps pre-backhaul scenario JSON
+    /// loadable.
+    #[serde(default)]
+    pub backhaul: Option<BackhaulConfig>,
 }
 
 impl ScenarioSpec {
@@ -66,6 +73,7 @@ impl ScenarioSpec {
             sweep_flows: Vec::new(),
             trajectories: Vec::new(),
             shards: None,
+            backhaul: None,
         }
     }
 
@@ -135,6 +143,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Route every flow through a shared backhaul topology (see
+    /// [`SimConfig::backhaul`]).
+    pub fn backhaul(mut self, backhaul: BackhaulConfig) -> Self {
+        self.backhaul = Some(backhaul);
+        self
+    }
+
     /// Override the RSSI trajectory one UE sees towards one of its
     /// configured cells (multi-cell mobility; see
     /// [`SimConfig::trajectories`]).
@@ -166,6 +181,7 @@ impl ScenarioSpec {
             flows,
             trajectories: self.trajectories.clone(),
             shards: self.shards,
+            backhaul: self.backhaul.clone(),
         }
     }
 

@@ -141,8 +141,30 @@ pub struct AckInfo {
     /// True if this ACK also signalled a lost packet (duplicate-ACK or
     /// SACK-style indication from the receiver).
     pub loss_detected: bool,
+    /// True if the acknowledged packet carried an ECN congestion-experienced
+    /// mark set by a wired queue on the path (RFC 3168 echo).  Pre-backhaul
+    /// scenario JSON lacks the field and loads as `false`.
+    #[serde(default)]
+    pub ecn_ce: bool,
     /// PBE feedback fields, present when the receiver runs the PBE-CC client.
     pub pbe: Option<PbeFeedback>,
+}
+
+/// An explicit congestion notification delivered to the sender out of band,
+/// ahead of the ACK clock — the SFC-style near-source signal (arxiv
+/// 2305.00538): the first congested link on the path reports its state back
+/// towards the server directly, so the sender can react after only the
+/// upstream propagation delay instead of a full round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestionSignal {
+    /// When the marking decision was taken at the congested link.
+    pub at: Instant,
+    /// The congested link's line rate, bits per second.
+    pub link_rate_bps: f64,
+    /// Queue occupancy at the link when the mark was taken, bytes.
+    pub queue_bytes: u64,
+    /// Queueing delay implied by that occupancy at the link's line rate.
+    pub queue_delay: Duration,
 }
 
 /// The sender-side congestion-control interface.
@@ -171,6 +193,11 @@ pub trait CongestionControl: Send {
     fn internet_bottleneck_fraction(&self) -> f64 {
         0.0
     }
+
+    /// An out-of-band congestion signal arrived from the network (see
+    /// [`CongestionSignal`]).  Most schemes never hear these; the default
+    /// ignores them, and only signaling-aware schemes (SFC) override it.
+    fn on_signal(&mut self, _now: Instant, _signal: &CongestionSignal) {}
 }
 
 /// Helper shared by several schemes: a conservative initial state.

@@ -222,6 +222,7 @@ mod tests {
             delivery_rate_bps: rate_bps,
             inflight_bytes: inflight,
             loss_detected: false,
+            ecn_ce: false,
             pbe: None,
         }
     }

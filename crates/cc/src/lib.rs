@@ -22,21 +22,25 @@ pub mod api;
 pub mod bbr;
 pub mod copa;
 pub mod cubic;
+pub mod cubic_ecn;
 pub mod pcc;
 pub mod registry;
 pub mod reno;
+pub mod sfc;
 pub mod sprout;
 pub mod verus;
 pub mod vivace;
 pub mod windowed;
 
-pub use api::{AckInfo, CongestionControl, PbeFeedback, SchemeName, MSS_BYTES};
+pub use api::{AckInfo, CongestionControl, CongestionSignal, PbeFeedback, SchemeName, MSS_BYTES};
 pub use bbr::Bbr;
 pub use copa::Copa;
 pub use cubic::Cubic;
+pub use cubic_ecn::CubicEcn;
 pub use pcc::Pcc;
 pub use registry::{SchemeCtx, SchemeFactory, SchemeId, SchemeRegistry};
 pub use reno::Reno;
+pub use sfc::Sfc;
 pub use sprout::Sprout;
 pub use verus::Verus;
 pub use vivace::Vivace;

@@ -196,6 +196,7 @@ mod tests {
             delivery_rate_bps: 10e6,
             inflight_bytes: 30_000,
             loss_detected: lost,
+            ecn_ce: false,
             pbe: None,
         }
     }

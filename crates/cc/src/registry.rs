@@ -10,7 +10,7 @@
 //! serde-compatibility shim that resolves to a [`SchemeId`].
 
 use crate::api::{CongestionControl, SchemeName};
-use crate::{Bbr, Copa, Cubic, Pcc, Reno, Sprout, Verus, Vivace};
+use crate::{Bbr, Copa, Cubic, CubicEcn, Pcc, Reno, Sfc, Sprout, Verus, Vivace};
 use pbe_stats::time::Duration;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
@@ -116,8 +116,10 @@ impl SchemeRegistry {
         }
     }
 
-    /// A registry with the eight baseline schemes this crate implements.
-    /// PBE-CC registers itself through the same interface from `pbe-core`.
+    /// A registry with the eight baseline schemes this crate implements,
+    /// plus the two signaling-assisted variants (`CUBIC-ECN`, `SFC`) that
+    /// only act on backhaul congestion marks.  PBE-CC registers itself
+    /// through the same interface from `pbe-core`.
     pub fn with_baselines() -> Self {
         let mut reg = SchemeRegistry::empty();
         register_baseline!(reg, SchemeName::Bbr, Bbr);
@@ -128,6 +130,11 @@ impl SchemeRegistry {
         register_baseline!(reg, SchemeName::Sprout, Sprout);
         register_baseline!(reg, SchemeName::Pcc, Pcc);
         register_baseline!(reg, SchemeName::Vivace, Vivace);
+        // The signaling-assisted schemes are string-keyed only: they are not
+        // part of the paper's eight, so they get no `SchemeName` variant and
+        // the closed-enum serde shims never resolve to them.
+        register_baseline!(reg, "CUBIC-ECN", CubicEcn);
+        register_baseline!(reg, "SFC", Sfc);
         reg
     }
 
@@ -167,12 +174,24 @@ mod tests {
     #[test]
     fn baseline_registry_builds_every_scheme() {
         let reg = SchemeRegistry::with_baselines();
-        assert_eq!(reg.ids().len(), 8);
+        assert_eq!(reg.ids().len(), 10);
         for name in SchemeName::BASELINES {
             let id = SchemeId::from(*name);
             assert!(reg.contains(&id), "{id} registered");
             let cc = reg.build(&id, &ctx()).expect("factory builds");
             assert_eq!(cc.name(), id.as_str());
+            assert!(cc.pacing_rate_bps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn signaling_schemes_ride_the_same_registry() {
+        let reg = SchemeRegistry::with_baselines();
+        for key in ["CUBIC-ECN", "SFC"] {
+            let id = SchemeId::new(key);
+            assert!(reg.contains(&id), "{key} registered");
+            let cc = reg.build(&id, &ctx()).expect("factory builds");
+            assert_eq!(cc.name(), key);
             assert!(cc.pacing_rate_bps() > 0.0);
         }
     }

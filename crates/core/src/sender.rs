@@ -327,6 +327,7 @@ mod tests {
             delivery_rate_bps: rate_bps,
             inflight_bytes: 60_000,
             loss_detected: false,
+            ecn_ce: false,
             pbe: Some(PbeFeedback {
                 capacity_interval_us: PbeFeedback::interval_from_rate(capacity_bps),
                 internet_bottleneck: internet,

@@ -26,6 +26,7 @@
 //! fresh registry key, and `.observe(...)` attaches any
 //! [`Observer`].
 
+use crate::backhaul::BackhaulConfig;
 use crate::flow::FlowConfig;
 use crate::observer::Observer;
 use crate::scheme::SchemeTable;
@@ -48,6 +49,7 @@ pub struct SimBuilder {
     flows: Vec<FlowConfig>,
     trajectories: Vec<CellTrajectory>,
     shards: Option<usize>,
+    backhaul: Option<BackhaulConfig>,
     table: SchemeTable,
     observers: Vec<Box<dyn Observer>>,
 }
@@ -71,6 +73,7 @@ impl SimBuilder {
             flows: Vec::new(),
             trajectories: Vec::new(),
             shards: None,
+            backhaul: None,
             table: SchemeTable::standard(),
             observers: Vec::new(),
         }
@@ -88,6 +91,7 @@ impl SimBuilder {
             flows: config.flows,
             trajectories: config.trajectories,
             shards: config.shards,
+            backhaul: config.backhaul,
             table: SchemeTable::standard(),
             observers: Vec::new(),
         }
@@ -141,6 +145,14 @@ impl SimBuilder {
         self
     }
 
+    /// Route every flow's wired segment through a shared backhaul topology
+    /// instead of the per-flow private path (see
+    /// [`SimConfig::backhaul`]).
+    pub fn backhaul(mut self, backhaul: BackhaulConfig) -> Self {
+        self.backhaul = Some(backhaul);
+        self
+    }
+
     /// Replace the whole scheme table (rarely needed; prefer
     /// [`SimBuilder::scheme`]).
     pub fn scheme_table(mut self, table: SchemeTable) -> Self {
@@ -182,6 +194,7 @@ impl SimBuilder {
             flows: self.flows.clone(),
             trajectories: self.trajectories.clone(),
             shards: self.shards,
+            backhaul: self.backhaul.clone(),
         }
     }
 
@@ -196,6 +209,7 @@ impl SimBuilder {
             flows: self.flows,
             trajectories: self.trajectories,
             shards: self.shards,
+            backhaul: self.backhaul,
         };
         Simulation::with_parts(config, self.table, self.observers)
     }

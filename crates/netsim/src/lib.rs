@@ -60,6 +60,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backhaul;
 pub mod builder;
 pub mod flow;
 pub mod metrics;
@@ -69,6 +70,7 @@ pub mod scheme;
 pub mod sim;
 pub mod wired;
 
+pub use backhaul::{Backhaul, BackhaulConfig, BackhaulLinkResult, BackhaulLinkSpec, BackhaulRoute};
 pub use builder::SimBuilder;
 pub use flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
 pub use observer::{Observer, SimEvent};
@@ -77,4 +79,4 @@ pub use pbe_core::receiver::{NullReceiverAgent, ReceiverAgent, ReceiverCtx, Rece
 pub use rate::DeliveryRateEstimator;
 pub use scheme::{SchemeTable, FIXED_SCHEME_ID};
 pub use sim::{CellTrajectory, PrbInterval, SimConfig, SimResult, Simulation};
-pub use wired::WiredPath;
+pub use wired::{LinkStats, WiredPath};

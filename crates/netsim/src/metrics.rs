@@ -7,6 +7,7 @@
 //! that need a different cut of the same telemetry register their own
 //! observers beside it.
 
+use crate::backhaul::BackhaulLinkResult;
 use crate::flow::{FlowConfig, FlowResult};
 use crate::observer::{Observer, SimEvent};
 use crate::sim::{PrbInterval, SimResult};
@@ -38,6 +39,13 @@ pub struct MetricsCollector {
     prb_timeline: Vec<PrbInterval>,
     prb_accum: HashMap<u32, f64>,
     prb_accum_start_ms: u64,
+    /// Per-link 100 ms maximum-occupancy windows (empty without a backhaul).
+    bh_timeline: Vec<Vec<u64>>,
+    /// Current window's maximum occupancy per link.
+    bh_accum: Vec<u64>,
+    /// Samples taken since the last window closed (0 = nothing to flush).
+    bh_samples_since_close: u64,
+    bh_links: Vec<BackhaulLinkResult>,
 }
 
 impl MetricsCollector {
@@ -70,6 +78,10 @@ impl MetricsCollector {
             prb_timeline: Vec::new(),
             prb_accum: HashMap::new(),
             prb_accum_start_ms: 0,
+            bh_timeline: Vec::new(),
+            bh_accum: Vec::new(),
+            bh_samples_since_close: 0,
+            bh_links: Vec::new(),
         }
     }
 
@@ -95,11 +107,27 @@ impl MetricsCollector {
                 }
             })
             .collect();
+        // Flush the final (possibly partial) backhaul sampling window and
+        // pair each link summary with its timeline.
+        if self.bh_samples_since_close > 0 {
+            if self.bh_timeline.len() < self.bh_accum.len() {
+                self.bh_timeline.resize_with(self.bh_accum.len(), Vec::new);
+            }
+            for (link, &max) in self.bh_accum.iter().enumerate() {
+                self.bh_timeline[link].push(max);
+            }
+        }
+        for (link, result) in self.bh_links.iter_mut().enumerate() {
+            if let Some(windows) = self.bh_timeline.get(link) {
+                result.queue_timeline_bytes = windows.clone();
+            }
+        }
         SimResult {
             flows,
             primary_prb_timeline: self.prb_timeline,
             ca_events: self.ca_events,
             handovers: self.handovers,
+            backhaul_links: self.bh_links,
         }
     }
 }
@@ -181,9 +209,53 @@ impl Observer for MetricsCollector {
                 m.internet_bottleneck_fraction = *internet_bottleneck_fraction;
                 m.carrier_aggregation_triggered = *carrier_aggregation_triggered;
             }
+            SimEvent::BackhaulSampled { now, queued_bytes } => {
+                if self.bh_accum.len() < queued_bytes.len() {
+                    self.bh_accum.resize(queued_bytes.len(), 0);
+                }
+                for (acc, &q) in self.bh_accum.iter_mut().zip(queued_bytes.iter()) {
+                    *acc = (*acc).max(q);
+                }
+                self.bh_samples_since_close += 1;
+                // Windows close on the same 100 ms boundaries as the PRB
+                // timeline, so the two plots line up sample for sample.
+                let t_ms = now.as_millis();
+                if (t_ms + 1) % 100 == 0 {
+                    if self.bh_timeline.len() < self.bh_accum.len() {
+                        self.bh_timeline.resize_with(self.bh_accum.len(), Vec::new);
+                    }
+                    for (link, acc) in self.bh_accum.iter_mut().enumerate() {
+                        self.bh_timeline[link].push(*acc);
+                        *acc = 0;
+                    }
+                    self.bh_samples_since_close = 0;
+                }
+            }
+            SimEvent::BackhaulLinkClosed {
+                link,
+                name,
+                rate_bps,
+                stats,
+                max_queued_bytes,
+                p50_queue_delay_ms,
+                p95_queue_delay_ms,
+            } => {
+                debug_assert_eq!(*link, self.bh_links.len(), "links close in order");
+                self.bh_links.push(BackhaulLinkResult {
+                    name: (*name).to_string(),
+                    rate_bps: *rate_bps,
+                    stats: *stats,
+                    max_queued_bytes: *max_queued_bytes,
+                    p50_queue_delay_ms: *p50_queue_delay_ms,
+                    p95_queue_delay_ms: *p95_queue_delay_ms,
+                    queue_timeline_bytes: Vec::new(),
+                });
+            }
             SimEvent::AckProcessed { .. }
             | SimEvent::CapacityEstimated { .. }
-            | SimEvent::StateChanged { .. } => {}
+            | SimEvent::StateChanged { .. }
+            | SimEvent::BackhaulMark { .. }
+            | SimEvent::BackhaulDrop { .. } => {}
         }
     }
 }

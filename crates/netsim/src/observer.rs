@@ -9,6 +9,7 @@
 //! `fig*` binaries, for instance) taps the events instead of re-deriving
 //! numbers from bespoke simulator hooks.
 
+use crate::wired::LinkStats;
 use pbe_cc_algorithms::api::{AckInfo, PbeFeedback};
 use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::config::{CellId, UeId};
@@ -88,6 +89,58 @@ pub enum SimEvent<'a> {
         at: Instant,
         /// The new belief: true if the wired Internet is the bottleneck.
         internet_bottleneck: bool,
+    },
+    /// A shared-backhaul queue ECN-marked a packet (only emitted when
+    /// [`SimConfig::backhaul`](crate::sim::SimConfig) is configured).
+    BackhaulMark {
+        /// Flow id owning the marked packet.
+        flow: u32,
+        /// Index of the marking link in the backhaul configuration.
+        link: usize,
+        /// Name of the marking link.
+        name: &'a str,
+        /// When the marking decision was taken.
+        at: Instant,
+        /// Bytes already queued at the link when the packet arrived.
+        queued_bytes: u64,
+    },
+    /// A shared-backhaul queue dropped a packet.
+    BackhaulDrop {
+        /// Flow id owning the dropped packet.
+        flow: u32,
+        /// Index of the dropping link in the backhaul configuration.
+        link: usize,
+        /// Name of the dropping link.
+        name: &'a str,
+        /// When the drop happened.
+        at: Instant,
+        /// Bytes queued at the link when the packet was refused.
+        queued_bytes: u64,
+    },
+    /// Per-subframe sample of every backhaul link's queue occupancy, in
+    /// link-configuration order (only emitted when a backhaul is configured).
+    BackhaulSampled {
+        /// Sample time (the subframe start).
+        now: Instant,
+        /// Queued bytes per link.
+        queued_bytes: &'a [u64],
+    },
+    /// End-of-run summary of one backhaul link.
+    BackhaulLinkClosed {
+        /// Index of the link in the backhaul configuration.
+        link: usize,
+        /// Link name.
+        name: &'a str,
+        /// Line rate, bits per second.
+        rate_bps: f64,
+        /// Byte and packet counters.
+        stats: LinkStats,
+        /// Largest queue occupancy ever seen, bytes.
+        max_queued_bytes: u64,
+        /// Median per-packet queueing delay, milliseconds.
+        p50_queue_delay_ms: f64,
+        /// 95th-percentile per-packet queueing delay, milliseconds.
+        p95_queue_delay_ms: f64,
     },
     /// A flow reached the end of the simulation; final sender-side stats.
     FlowClosed {

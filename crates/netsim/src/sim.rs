@@ -9,13 +9,16 @@
 //! [`SimEvent`]s — the standard [`SimResult`] is produced by the built-in
 //! [`MetricsCollector`] listening to that same stream.
 
+use crate::backhaul::{Backhaul, BackhaulConfig, BackhaulLinkResult, BackhaulTickReport};
 use crate::flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
 use crate::metrics::MetricsCollector;
 use crate::observer::{Observer, SimEvent};
 use crate::rate::DeliveryRateEstimator;
 use crate::scheme::SchemeTable;
 use crate::wired::WiredPath;
-use pbe_cc_algorithms::api::{AckInfo, CongestionControl, PbeFeedback, MSS_BYTES};
+use pbe_cc_algorithms::api::{
+    AckInfo, CongestionControl, CongestionSignal, PbeFeedback, MSS_BYTES,
+};
 use pbe_cc_algorithms::registry::SchemeCtx;
 use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::channel::MobilityTrace;
@@ -29,7 +32,8 @@ use pbe_pdcch::batch::DciBatcher;
 use pbe_stats::time::{Duration, Instant};
 use pbe_stats::DetRng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,6 +67,15 @@ pub struct SimConfig {
     /// that runs the whole test suite over the sharded path.
     #[serde(default)]
     pub shards: Option<usize>,
+    /// Shared wired backhaul topology.  `None` (the default, and what every
+    /// pre-backhaul configuration JSON loads as) keeps each flow on its
+    /// private [`WiredPath`]; `Some` routes every flow through the shared
+    /// link DAG by the cell its UE is attached to, re-routing on handover.
+    /// The backhaul is stepped by the driver loop outside the RAN tick
+    /// (conceptually owned by shard 0), so results stay byte-identical for
+    /// every shard count.
+    #[serde(default)]
+    pub backhaul: Option<BackhaulConfig>,
 }
 
 /// The radio access network behind one simulation: the serial engine, or
@@ -177,6 +190,7 @@ impl SimConfig {
             flows: vec![FlowConfig::bulk(1, ue, scheme, duration)],
             trajectories: Vec::new(),
             shards: None,
+            backhaul: None,
         }
     }
 }
@@ -219,6 +233,10 @@ pub struct SimResult {
     /// Serving-cell handovers that occurred.
     #[serde(default)]
     pub handovers: Vec<HandoverEvent>,
+    /// Per-link backhaul summaries, in configuration order (empty when no
+    /// backhaul topology was configured).
+    #[serde(default)]
+    pub backhaul_links: Vec<BackhaulLinkResult>,
 }
 
 impl SimResult {
@@ -234,8 +252,38 @@ struct PendingEvent {
     bytes: u64,
     sent_at: Instant,
     one_way_delay_ms: f64,
+    ecn_ce: bool,
     pbe: Option<PbeFeedback>,
     lost: bool,
+}
+
+/// A near-source congestion signal in flight towards one sender, ordered by
+/// `(delivery time, mark sequence)` so signal delivery is deterministic.
+struct SignalEntry {
+    at: Instant,
+    seq: u64,
+    flow: usize,
+    signal: CongestionSignal,
+}
+
+impl PartialEq for SignalEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl Eq for SignalEntry {}
+
+impl PartialOrd for SignalEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SignalEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
 }
 
 struct FlowState<'a> {
@@ -388,6 +436,27 @@ impl Simulation {
         let mut packet_owner: HashMap<u64, usize> = HashMap::new();
         let mut next_packet_id: u64 = 1;
 
+        // Shared-backhaul state: the link DAG itself, the cell each flow's
+        // packets currently route towards (updated on handover), the ids of
+        // ECN-marked packets awaiting their ACK echo, and the near-source
+        // signals in flight back towards the senders.
+        let mut backhaul = cfg.backhaul.clone().map(Backhaul::new);
+        let mut bh_report = BackhaulTickReport::default();
+        let mut serving_cell: Vec<CellId> = cfg
+            .flows
+            .iter()
+            .map(|f| {
+                cfg.ues
+                    .iter()
+                    .find(|(u, _)| u.id == f.ue)
+                    .map(|(u, _)| u.primary_cell())
+                    .expect("flow UE configured")
+            })
+            .collect();
+        let mut marked: HashSet<u64> = HashSet::new();
+        let mut signals: BinaryHeap<Reverse<SignalEntry>> = BinaryHeap::new();
+        let mut signal_seq: u64 = 0;
+
         // One report, reused across every subframe: its buffers are cleared
         // and refilled in place, so the per-subframe loop stops allocating
         // once they reach their working size.
@@ -398,6 +467,18 @@ impl Simulation {
         let total_ms = cfg.duration.as_millis();
         for t_ms in 0..total_ms {
             let now = Instant::from_millis(t_ms);
+
+            // 0. Near-source congestion signals reach their senders (they
+            //    undercut the ACK clock, so they are delivered first).
+            while let Some(Reverse(head)) = signals.peek() {
+                if head.at > now {
+                    break;
+                }
+                let Reverse(entry) = signals.pop().expect("non-empty");
+                if let Some(cc) = flows[entry.flow].cc.as_mut() {
+                    cc.on_signal(now, &entry.signal);
+                }
+            }
 
             // 1. Deliver ACKs / loss notifications that have reached the
             //    sender, and let the congestion controller react.
@@ -430,6 +511,7 @@ impl Simulation {
                         delivery_rate_bps: delivery_rate,
                         inflight_bytes: flow.inflight_bytes,
                         loss_detected: false,
+                        ecn_ce: ev.ecn_ce,
                         pbe: ev.pbe,
                     };
                     if let Some(cc) = flow.cc.as_mut() {
@@ -472,7 +554,23 @@ impl Simulation {
                     let id = next_packet_id;
                     next_packet_id += 1;
                     flow.allowance_bytes -= MSS_BYTES as f64;
-                    if flow.downlink.send(id, MSS_BYTES as u32, now) {
+                    if let Some(bh) = backhaul.as_mut() {
+                        // Shared backhaul: routing (and any drop) resolves
+                        // inside the link DAG at the packet's ingress time.
+                        flow.sent_packets.insert(id, (MSS_BYTES, now));
+                        flow.inflight_bytes += MSS_BYTES;
+                        packet_owner.insert(id, idx);
+                        if let Some(cc) = flow.cc.as_mut() {
+                            cc.on_packet_sent(now, MSS_BYTES, flow.inflight_bytes);
+                        }
+                        bh.submit(
+                            idx,
+                            serving_cell[idx],
+                            id,
+                            MSS_BYTES as u32,
+                            now + flow.config.server_one_way_delay,
+                        );
+                    } else if flow.downlink.send(id, MSS_BYTES as u32, now) {
                         flow.sent_packets.insert(id, (MSS_BYTES, now));
                         flow.inflight_bytes += MSS_BYTES;
                         packet_owner.insert(id, idx);
@@ -489,6 +587,7 @@ impl Simulation {
                             bytes: 0,
                             sent_at: now,
                             one_way_delay_ms: 0.0,
+                            ecn_ce: false,
                             pbe: None,
                             lost: true,
                         });
@@ -508,10 +607,103 @@ impl Simulation {
                 }
             }
 
-            // 3. Wired arrivals reach the base station.
-            for flow in flows.iter_mut() {
-                for pkt in flow.downlink.arrivals(now) {
-                    net.enqueue_packet(flow.config.ue, pkt.id, pkt.bytes, now);
+            // 3. Wired arrivals reach the base stations — through the
+            //    shared backhaul DAG when one is configured, through each
+            //    flow's private path otherwise.
+            if let Some(bh) = backhaul.as_mut() {
+                bh.tick(now, &mut bh_report);
+                for m in &bh_report.marks {
+                    marked.insert(m.packet_id);
+                    emit(
+                        observers,
+                        &mut metrics,
+                        SimEvent::BackhaulMark {
+                            flow: flows[m.flow].config.id,
+                            link: m.link,
+                            name: &bh.config().links[m.link].name,
+                            at: m.at,
+                            queued_bytes: m.queued_bytes,
+                        },
+                    );
+                    if m.first_on_path {
+                        // The signal travels back upstream: it reaches the
+                        // sender after the server-side delay plus the
+                        // propagation of the links before the marking one.
+                        let delay = flows[m.flow].config.server_one_way_delay + m.upstream_delay;
+                        signals.push(Reverse(SignalEntry {
+                            at: m.at + delay,
+                            seq: signal_seq,
+                            flow: m.flow,
+                            signal: CongestionSignal {
+                                at: m.at,
+                                link_rate_bps: m.link_rate_bps,
+                                queue_bytes: m.queued_bytes,
+                                queue_delay: m.queue_delay,
+                            },
+                        }));
+                        signal_seq += 1;
+                    }
+                }
+                for d in &bh_report.drops {
+                    emit(
+                        observers,
+                        &mut metrics,
+                        SimEvent::BackhaulDrop {
+                            flow: flows[d.flow].config.id,
+                            link: d.link,
+                            name: &bh.config().links[d.link].name,
+                            at: d.at,
+                            queued_bytes: d.queued_bytes,
+                        },
+                    );
+                    emit(
+                        observers,
+                        &mut metrics,
+                        SimEvent::PacketDelivered {
+                            flow: flows[d.flow].config.id,
+                            at: now,
+                            bytes: d.bytes,
+                            one_way: Duration::ZERO,
+                            delivered: false,
+                            wired_drop: true,
+                        },
+                    );
+                    packet_owner.remove(&d.packet_id);
+                    marked.remove(&d.packet_id);
+                    // Unlike the synchronous per-flow wired drop, the packet
+                    // was charged to the congestion window when it was
+                    // submitted, so the loss notification must return its
+                    // bytes to the in-flight account.
+                    let flow = &mut flows[d.flow];
+                    let notify = now + flow.srtt;
+                    flow.pending.push_back(PendingEvent {
+                        arrive_at: notify,
+                        packet_id: d.packet_id,
+                        bytes: d.bytes,
+                        sent_at: now,
+                        one_way_delay_ms: 0.0,
+                        ecn_ce: false,
+                        pbe: None,
+                        lost: true,
+                    });
+                }
+                for d in &bh_report.deliveries {
+                    net.enqueue_packet(flows[d.flow].config.ue, d.packet_id, d.bytes, now);
+                }
+                let occupancy = bh.occupancy();
+                emit(
+                    observers,
+                    &mut metrics,
+                    SimEvent::BackhaulSampled {
+                        now,
+                        queued_bytes: occupancy,
+                    },
+                );
+            } else {
+                for flow in flows.iter_mut() {
+                    for pkt in flow.downlink.arrivals(now) {
+                        net.enqueue_packet(flow.config.ue, pkt.id, pkt.bytes, now);
+                    }
                 }
             }
 
@@ -566,9 +758,12 @@ impl Simulation {
                     .map(|c| c.total_prbs())
                     .unwrap_or(50);
                 let gap = cfg.cellular.handover.reacquisition_gap_ms;
-                for flow in flows.iter_mut() {
+                for (idx, flow) in flows.iter_mut().enumerate() {
                     if flow.config.ue == event.ue {
                         flow.receiver.on_handover(event, total_prbs, gap);
+                        // Packets the flow sends from now on route through
+                        // the target cell's backhaul path.
+                        serving_cell[idx] = event.to;
                     }
                 }
             }
@@ -597,6 +792,7 @@ impl Simulation {
                 packet_owner.remove(&d.packet_id);
                 let one_way = d.at.saturating_since(sent_at);
                 let ack_at = d.at + flow.config.server_one_way_delay;
+                let ecn_ce = marked.remove(&d.packet_id);
                 if d.delivered {
                     let pbe = flow.receiver.on_packet(d.at, one_way.as_millis_f64());
                     emit(
@@ -640,6 +836,7 @@ impl Simulation {
                         bytes,
                         sent_at,
                         one_way_delay_ms: one_way.as_millis_f64(),
+                        ecn_ce,
                         pbe,
                         lost: false,
                     });
@@ -662,10 +859,30 @@ impl Simulation {
                         bytes,
                         sent_at,
                         one_way_delay_ms: one_way.as_millis_f64(),
+                        ecn_ce: false,
                         pbe: None,
                         lost: true,
                     });
                 }
+            }
+        }
+
+        // Finalise the backhaul links through the event stream.
+        if let Some(bh) = backhaul.as_ref() {
+            for (link, summary) in bh.link_summaries().iter().enumerate() {
+                emit(
+                    observers,
+                    &mut metrics,
+                    SimEvent::BackhaulLinkClosed {
+                        link,
+                        name: &summary.name,
+                        rate_bps: summary.rate_bps,
+                        stats: summary.stats,
+                        max_queued_bytes: summary.max_queued_bytes,
+                        p50_queue_delay_ms: summary.p50_queue_delay_ms,
+                        p95_queue_delay_ms: summary.p95_queue_delay_ms,
+                    },
+                );
             }
         }
 
@@ -693,6 +910,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backhaul::BackhaulLinkSpec;
     use pbe_cc_algorithms::api::SchemeName;
 
     fn quick(scheme: SchemeChoice, seconds: u64, load: CellLoadProfile) -> SimResult {
@@ -799,6 +1017,7 @@ mod tests {
             ],
             trajectories: Vec::new(),
             shards: None,
+            backhaul: None,
         };
         let result = Simulation::new(cfg).run();
         let a = result.flows[0].summary.avg_throughput_mbps;
@@ -828,6 +1047,45 @@ mod tests {
             sharded_cfg.shards = Some(shards);
             let sharded = serde_json::to_string(&Simulation::new(sharded_cfg).run()).unwrap();
             assert_eq!(serial, sharded, "{shards} shards diverged from serial");
+        }
+    }
+
+    #[test]
+    fn backhaul_simulation_is_byte_identical_across_shard_counts() {
+        // The backhaul is stepped in the single-threaded driver loop
+        // ("owned by shard 0"), so its arrivals — and everything downstream
+        // of them — must serialise identically whatever the shard count,
+        // across seeds.
+        for seed in [13u64, 29] {
+            let mut cfg = SimConfig::single_flow(
+                SchemeChoice::Pbe,
+                Duration::from_secs(2),
+                CellLoadProfile::busy(),
+                seed,
+            );
+            cfg.backhaul = Some(BackhaulConfig::shared_aggregation(
+                &[CellId(0), CellId(1), CellId(2)],
+                BackhaulLinkSpec::new("agg", 40e6, Duration::from_millis(2), 150_000)
+                    .with_mark_threshold(45_000),
+                |cell| {
+                    BackhaulLinkSpec::new(
+                        format!("cell-{}", cell.0),
+                        100e6,
+                        Duration::from_millis(1),
+                        300_000,
+                    )
+                },
+            ));
+            let serial = serde_json::to_string(&Simulation::new(cfg.clone()).run()).unwrap();
+            for shards in [1usize, 2, 3] {
+                let mut sharded_cfg = cfg.clone();
+                sharded_cfg.shards = Some(shards);
+                let sharded = serde_json::to_string(&Simulation::new(sharded_cfg).run()).unwrap();
+                assert_eq!(
+                    serial, sharded,
+                    "{shards} shards diverged from serial (seed {seed})"
+                );
+            }
         }
     }
 

@@ -10,6 +10,29 @@ use pbe_stats::time::{transmission_time, Duration, Instant};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// Byte and packet counters of one wired link (shared between the per-flow
+/// [`WiredPath`] and the shared-backhaul links of
+/// [`crate::backhaul::Backhaul`], so telemetry reads identically whichever
+/// wired model a scenario uses).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets accepted into the queue.
+    pub admitted_packets: u64,
+    /// Bytes accepted into the queue.
+    pub admitted_bytes: u64,
+    /// Packets that finished crossing the link.
+    pub forwarded_packets: u64,
+    /// Bytes that finished crossing the link.
+    pub forwarded_bytes: u64,
+    /// Packets refused by the full queue.
+    pub dropped_packets: u64,
+    /// Bytes refused by the full queue.
+    pub dropped_bytes: u64,
+    /// Packets ECN-marked by the queue (always 0 for links without a
+    /// marking threshold, [`WiredPath`] included).
+    pub marked_packets: u64,
+}
+
 /// A packet travelling the wired path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WiredPacket {
@@ -38,8 +61,7 @@ pub struct WiredPath {
     /// Bytes currently queued at the bottleneck.
     queued_bytes: u64,
     in_flight: VecDeque<WiredPacket>,
-    /// Packets dropped at the bottleneck queue.
-    pub drops: u64,
+    stats: LinkStats,
 }
 
 impl WiredPath {
@@ -52,7 +74,7 @@ impl WiredPath {
             link_free_at: Instant::ZERO,
             queued_bytes: 0,
             in_flight: VecDeque::new(),
-            drops: 0,
+            stats: LinkStats::default(),
         }
     }
 
@@ -69,13 +91,18 @@ impl WiredPath {
             link_free_at: Instant::ZERO,
             queued_bytes: 0,
             in_flight: VecDeque::new(),
-            drops: 0,
+            stats: LinkStats::default(),
         }
     }
 
     /// Bytes currently waiting at the wired bottleneck.
     pub fn queued_bytes(&self) -> u64 {
         self.queued_bytes
+    }
+
+    /// Byte and packet counters of the path's bottleneck link.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
     }
 
     /// Send a packet into the path at `now`.  Returns `false` if the packet
@@ -85,7 +112,8 @@ impl WiredPath {
             None => now + self.propagation,
             Some(rate) => {
                 if self.queued_bytes + u64::from(bytes) > self.queue_limit_bytes {
-                    self.drops += 1;
+                    self.stats.dropped_packets += 1;
+                    self.stats.dropped_bytes += u64::from(bytes);
                     return false;
                 }
                 self.queued_bytes += u64::from(bytes);
@@ -95,6 +123,8 @@ impl WiredPath {
                 self.link_free_at + self.propagation
             }
         };
+        self.stats.admitted_packets += 1;
+        self.stats.admitted_bytes += u64::from(bytes);
         self.in_flight.push_back(WiredPacket {
             id,
             bytes,
@@ -113,6 +143,8 @@ impl WiredPath {
                 if self.bottleneck_bps.is_some() {
                     self.queued_bytes = self.queued_bytes.saturating_sub(u64::from(p.bytes));
                 }
+                self.stats.forwarded_packets += 1;
+                self.stats.forwarded_bytes += u64::from(p.bytes);
                 out.push(p);
             } else {
                 break;
@@ -144,7 +176,7 @@ mod tests {
         assert_eq!(b.len(), 1);
         assert_eq!(b[0].id, 2);
         assert_eq!(path.in_flight(), 0);
-        assert_eq!(path.drops, 0);
+        assert_eq!(path.stats().dropped_packets, 0);
     }
 
     #[test]
@@ -170,7 +202,8 @@ mod tests {
             }
         }
         assert!(accepted < 10);
-        assert_eq!(path.drops, 10 - accepted);
+        assert_eq!(path.stats().dropped_packets, 10 - accepted);
+        assert_eq!(path.stats().admitted_packets, accepted);
         // Queue drains over time, making room again.
         let _ = path.arrivals(Instant::from_secs(1));
         assert!(path.send(100, 1500, Instant::from_secs(1)));

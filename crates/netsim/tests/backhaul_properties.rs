@@ -1,0 +1,209 @@
+//! Property tests: byte conservation of the shared backhaul.
+//!
+//! The backhaul is an analytic queueing model — packets are walked through
+//! their whole route the moment their ingress time comes, while wall-clock
+//! telemetry drains separately.  The invariant that keeps the two views
+//! honest is conservation: every byte submitted is, at any instant,
+//! delivered, dropped, or still inside the network — globally and per link.
+//! These properties drive random fan-out and chain topologies with random
+//! packet schedules and check the books after every tick.
+
+use pbe_cellular::config::CellId;
+use pbe_netsim::backhaul::BackhaulTickReport;
+use pbe_netsim::{Backhaul, BackhaulConfig, BackhaulLinkSpec, BackhaulRoute};
+use pbe_stats::time::{Duration, Instant};
+use proptest::prelude::*;
+
+/// Assert the global and per-link books balance at the current tick.
+///
+/// Globally: submitted = delivered + dropped + in-transit.  Per link:
+/// admitted = forwarded + queued (the wall-clock queue the occupancy sample
+/// reads), with drops accounted before admission.
+fn assert_conserved(bh: &mut Backhaul, context: &str) {
+    let submitted = bh.submitted_bytes();
+    let delivered = bh.delivered_bytes();
+    let dropped = bh.dropped_bytes();
+    let in_transit = bh.in_transit_bytes();
+    assert_eq!(
+        submitted,
+        delivered + dropped + in_transit,
+        "end-to-end conservation {context}: {submitted} != {delivered} + {dropped} + {in_transit}"
+    );
+    let occupancy: Vec<u64> = bh.occupancy().to_vec();
+    for (li, &queued) in occupancy.iter().enumerate() {
+        let stats = bh.link_stats(li);
+        assert_eq!(
+            stats.admitted_bytes,
+            stats.forwarded_bytes + queued,
+            "link {li} conservation {context}: admitted {} != forwarded {} + queued {}",
+            stats.admitted_bytes,
+            stats.forwarded_bytes,
+            queued
+        );
+        assert!(stats.forwarded_packets <= stats.admitted_packets);
+        assert!(stats.marked_packets <= stats.admitted_packets);
+    }
+}
+
+proptest! {
+    /// Fan-out topology (one shared aggregation link feeding one link per
+    /// cell): conservation holds after every tick, and after a full drain
+    /// the queues are empty and every byte is delivered or dropped.
+    #[test]
+    fn fanout_topology_conserves_bytes(
+        cells in 1usize..6,
+        agg_rate_mbps in 4.0f64..40.0,
+        cell_rate_mbps in 20.0f64..120.0,
+        agg_limit_kb in 4u64..48,
+        packets in proptest::collection::vec(
+            (0u32..8, 200u32..1500, 0u64..200),
+            1..150,
+        ),
+    ) {
+        let cell_ids: Vec<CellId> = (0..cells as u16).map(CellId).collect();
+        let cfg = BackhaulConfig::shared_aggregation(
+            &cell_ids,
+            BackhaulLinkSpec::new(
+                "agg",
+                agg_rate_mbps * 1e6,
+                Duration::from_millis(2),
+                agg_limit_kb * 1000,
+            )
+            .with_mark_threshold(agg_limit_kb * 500),
+            |cell| {
+                BackhaulLinkSpec::new(
+                    format!("cell-{}", cell.0),
+                    cell_rate_mbps * 1e6,
+                    Duration::from_millis(1),
+                    64_000,
+                )
+            },
+        );
+        cfg.validate().expect("fan-out topology validates");
+        let mut bh = Backhaul::new(cfg);
+        let mut expected_submitted = 0u64;
+        for (id, &(cell_pick, bytes, ingress_ms)) in packets.iter().enumerate() {
+            let cell = cell_ids[cell_pick as usize % cells];
+            bh.submit(
+                cell.0 as usize,
+                cell,
+                id as u64,
+                bytes,
+                Instant::from_millis(ingress_ms),
+            );
+            expected_submitted += u64::from(bytes);
+        }
+        prop_assert_eq!(bh.submitted_bytes(), expected_submitted);
+
+        let mut report = BackhaulTickReport::default();
+        let mut delivered_via_reports = 0u64;
+        let mut dropped_via_reports = 0u64;
+        for t in (0..=220u64).step_by(7) {
+            bh.tick(Instant::from_millis(t), &mut report);
+            delivered_via_reports +=
+                report.deliveries.iter().map(|d| u64::from(d.bytes)).sum::<u64>();
+            dropped_via_reports += report.drops.iter().map(|d| d.bytes).sum::<u64>();
+            assert_conserved(&mut bh, "mid-run");
+        }
+        // Drain completely: nothing queued, nothing in transit, and the
+        // per-report accounting agrees with the counters.
+        bh.tick(Instant::from_secs(120), &mut report);
+        delivered_via_reports +=
+            report.deliveries.iter().map(|d| u64::from(d.bytes)).sum::<u64>();
+        dropped_via_reports += report.drops.iter().map(|d| d.bytes).sum::<u64>();
+        assert_conserved(&mut bh, "after drain");
+        prop_assert_eq!(bh.in_transit_bytes(), 0);
+        prop_assert_eq!(bh.in_transit_packets(), 0);
+        prop_assert!(bh.occupancy().iter().all(|&q| q == 0));
+        prop_assert_eq!(bh.delivered_bytes(), delivered_via_reports);
+        prop_assert_eq!(bh.dropped_bytes(), dropped_via_reports);
+        prop_assert_eq!(
+            bh.submitted_bytes(),
+            bh.delivered_bytes() + bh.dropped_bytes()
+        );
+    }
+
+    /// Three-level chain (core → metro → per-cell): conservation holds, and
+    /// each flow's surviving packets are delivered in submission order with
+    /// nondecreasing arrival times (the in-order hand-off guarantee).
+    #[test]
+    fn chain_topology_conserves_bytes_and_keeps_flows_in_order(
+        cells in 1usize..5,
+        core_rate_mbps in 6.0f64..30.0,
+        metro_limit_kb in 4u64..32,
+        packets in proptest::collection::vec(
+            (0u32..6, 300u32..1500, 0u64..4),
+            1..120,
+        ),
+    ) {
+        let mut links = vec![
+            BackhaulLinkSpec::new("core", core_rate_mbps * 1e6, Duration::from_millis(3), 96_000),
+            BackhaulLinkSpec::new("metro", 24e6, Duration::from_millis(2), metro_limit_kb * 1000)
+                .with_mark_threshold(metro_limit_kb * 500),
+        ];
+        let mut routes = Vec::new();
+        for c in 0..cells as u16 {
+            let idx = links.len();
+            links.push(BackhaulLinkSpec::new(
+                format!("cell-{c}"),
+                60e6,
+                Duration::from_millis(1),
+                64_000,
+            ));
+            routes.push(BackhaulRoute {
+                cell: CellId(c),
+                path: vec![0, 1, idx],
+            });
+        }
+        let cfg = BackhaulConfig { links, routes, default_path: None };
+        cfg.validate().expect("chain topology validates");
+        let mut bh = Backhaul::new(cfg);
+
+        // Per-flow monotone ingress times, as the simulator produces them
+        // (send time + a fixed per-flow server delay).
+        let mut flow_clock = [0u64; 6];
+        let mut submitted_ids: Vec<Vec<u64>> = vec![Vec::new(); 6];
+        for (id, &(flow_pick, bytes, gap_ms)) in packets.iter().enumerate() {
+            let flow = flow_pick as usize % 6;
+            flow_clock[flow] += gap_ms;
+            let cell = CellId((flow % cells) as u16);
+            bh.submit(flow, cell, id as u64, bytes, Instant::from_millis(flow_clock[flow]));
+            submitted_ids[flow].push(id as u64);
+        }
+
+        let mut report = BackhaulTickReport::default();
+        let mut delivered: Vec<Vec<(Instant, u64)>> = vec![Vec::new(); 6];
+        let horizon = flow_clock.iter().max().copied().unwrap_or(0) + 30;
+        for t in (0..=horizon).step_by(3) {
+            bh.tick(Instant::from_millis(t), &mut report);
+            for d in &report.deliveries {
+                delivered[d.flow].push((d.arrive_at, d.packet_id));
+            }
+            assert_conserved(&mut bh, "mid-run");
+        }
+        bh.tick(Instant::from_secs(120), &mut report);
+        for d in &report.deliveries {
+            delivered[d.flow].push((d.arrive_at, d.packet_id));
+        }
+        assert_conserved(&mut bh, "after drain");
+        prop_assert_eq!(bh.in_transit_bytes(), 0);
+
+        for (flow, seen) in delivered.iter().enumerate() {
+            // Arrivals nondecreasing, ids in submission order (drops may
+            // thin the sequence but never permute it).
+            prop_assert!(
+                seen.windows(2).all(|w| w[0].0 <= w[1].0),
+                "flow {} arrivals reordered: {:?}",
+                flow,
+                seen
+            );
+            let ids: Vec<u64> = seen.iter().map(|&(_, id)| id).collect();
+            let mut expected = submitted_ids[flow].clone();
+            expected.retain(|id| ids.contains(id));
+            prop_assert_eq!(
+                &ids, &expected,
+                "flow {} delivered out of submission order", flow
+            );
+        }
+    }
+}

@@ -28,6 +28,7 @@ fn main() {
         flows: vec![FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)],
         trajectories: Vec::new(),
         shards: None,
+        backhaul: None,
     };
     let result = Simulation::new(config).run();
     let flow = &result.flows[0];

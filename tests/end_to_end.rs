@@ -122,6 +122,7 @@ fn pbe_detects_an_internet_bottleneck_and_bounds_its_delay() {
             .with_wired_bottleneck(15e6, 150_000)],
         trajectories: Vec::new(),
         shards: None,
+        backhaul: None,
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
@@ -170,6 +171,7 @@ fn two_pbe_flows_with_different_rtts_share_prbs_fairly() {
         ],
         trajectories: Vec::new(),
         shards: None,
+        backhaul: None,
     };
     let result = Simulation::new(cfg).run();
     // Jain's index over the primary-cell PRBs in the second half of the run
@@ -299,6 +301,7 @@ fn mobility_walk_keeps_pbe_delay_bounded() {
         flows: vec![FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)],
         trajectories: Vec::new(),
         shards: None,
+        backhaul: None,
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
