@@ -1,0 +1,160 @@
+//! Store-aware grid execution: run only the points whose key is missing.
+//!
+//! [`run_cached`] is the artifact pipeline's replacement for
+//! [`SweepRunner::run`](crate::sweep::SweepRunner): same input (expanded
+//! specs), same output shape ([`SweepReport`], grid order preserved), but
+//! each point is first looked up in the result store by content key.  Hits
+//! are served from disk with zero simulation; misses execute on the worker
+//! pool in small batches and are persisted as each batch completes, so an
+//! interrupted run resumes from its last finished batch instead of
+//! restarting.  Served and fresh outcomes are byte-identical by
+//! construction — the blob stores the exact spec and `SimResult` a fresh run
+//! would produce — and the cache-equivalence tests in
+//! `crates/bench/tests/artifact.rs` pin that.
+
+use super::store::{ResultStore, StoredPoint};
+use crate::sweep::{ScenarioOutcome, ScenarioSpec, SweepReport};
+use pbe_netsim::Simulation;
+use pbe_stats::pool::run_indexed;
+use std::io;
+use std::time::Instant;
+
+/// Outcome of a cached run: the assembled report plus the cache accounting
+/// the smoke tests and CI assert on.
+#[derive(Debug)]
+pub struct CachedRun {
+    /// Per-point outcomes in grid order, exactly as a fresh sweep would
+    /// report them (cached points carry `wall_ms = 0`).
+    pub report: SweepReport,
+    /// Number of points that actually simulated in this invocation.
+    pub executed: usize,
+    /// Number of points served from the store.
+    pub cached: usize,
+}
+
+/// Execute `specs`, serving store hits and persisting fresh results.
+///
+/// With `store = None` every point executes (a plain sweep).  `workers`
+/// follows [`SweepRunner`](crate::sweep::SweepRunner) semantics except that
+/// `0` means "all available cores".  `figure` labels the manifest entries of
+/// freshly executed points.
+pub fn run_cached(
+    figure: &str,
+    specs: Vec<ScenarioSpec>,
+    mut store: Option<&mut ResultStore>,
+    workers: usize,
+) -> io::Result<CachedRun> {
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    };
+    let started = Instant::now();
+    let keys: Vec<String> = specs.iter().map(ScenarioSpec::content_key).collect();
+
+    // Phase 1: serve every present point from the store.
+    let mut slots: Vec<Option<ScenarioOutcome>> = (0..specs.len()).map(|_| None).collect();
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let hit = store
+            .as_deref()
+            .and_then(|s| s.get(key))
+            .map(|p| ScenarioOutcome::new(p.spec, p.result, 0.0));
+        match hit {
+            Some(outcome) => slots[i] = Some(outcome),
+            None => misses.push(i),
+        }
+    }
+    let cached = specs.len() - misses.len();
+    let executed = misses.len();
+
+    // Phase 2: execute the misses in small batches, persisting after each
+    // batch so a kill loses at most one batch of work.
+    let batch = (workers * 2).max(4);
+    for batch_indices in misses.chunks(batch) {
+        let outcomes = run_indexed(batch_indices.len(), workers, |j| {
+            let spec = specs[batch_indices[j]].clone();
+            let point_started = Instant::now();
+            let result = Simulation::new(spec.sim_config()).run();
+            let wall_ms = point_started.elapsed().as_secs_f64() * 1000.0;
+            ScenarioOutcome::new(spec, result, wall_ms)
+        });
+        for (j, outcome) in outcomes.into_iter().enumerate() {
+            if let Some(store) = store.as_deref_mut() {
+                store.insert(
+                    figure,
+                    &StoredPoint {
+                        key: outcome.key.clone(),
+                        spec: outcome.spec.clone(),
+                        result: outcome.result.clone(),
+                    },
+                )?;
+            }
+            slots[batch_indices[j]] = Some(outcome);
+        }
+    }
+
+    let outcomes: Vec<ScenarioOutcome> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every grid point served or executed"))
+        .collect();
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let busy_ms = outcomes.iter().map(|o| o.wall_ms).sum();
+    Ok(CachedRun {
+        report: SweepReport {
+            outcomes,
+            workers,
+            elapsed_ms,
+            busy_ms,
+        },
+        executed,
+        cached,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{SweepGrid, SweepRunner};
+    use pbe_netsim::SchemeChoice;
+    use pbe_stats::time::Duration;
+
+    fn tiny_specs() -> Vec<ScenarioSpec> {
+        SweepGrid::over(vec![ScenarioSpec::single_flow(
+            "exec",
+            SchemeChoice::Pbe,
+            Duration::from_millis(200),
+        )
+        .seed(11)])
+        .schemes([SchemeChoice::Pbe, SchemeChoice::named("CUBIC")])
+        .expand()
+    }
+
+    #[test]
+    fn without_a_store_everything_executes_and_matches_the_sweep_runner() {
+        let specs = tiny_specs();
+        let plain = SweepRunner::serial().run(specs.clone());
+        let run = run_cached("fig_test", specs, None, 1).unwrap();
+        assert_eq!(run.executed, 2);
+        assert_eq!(run.cached, 0);
+        assert_eq!(run.report.deterministic_json(), plain.deterministic_json());
+    }
+
+    #[test]
+    fn second_invocation_serves_everything_from_the_store() {
+        let dir = std::env::temp_dir().join(format!("pbe_exec_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ResultStore::open(&dir).unwrap();
+        let first = run_cached("fig_test", tiny_specs(), Some(&mut store), 1).unwrap();
+        assert_eq!((first.executed, first.cached), (2, 0));
+        let second = run_cached("fig_test", tiny_specs(), Some(&mut store), 1).unwrap();
+        assert_eq!((second.executed, second.cached), (0, 2));
+        assert_eq!(
+            first.report.deterministic_json(),
+            second.report.deterministic_json()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

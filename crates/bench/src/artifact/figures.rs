@@ -1,0 +1,533 @@
+//! Grid builders and table renderers for the registered figures.
+//!
+//! Each figure contributes two pure functions: `*_grid(seconds)` — the
+//! [`SweepGrid`] the figure's evaluation expands from — and
+//! `render_*(report, seconds, writer)` — the table emission that turns a
+//! [`SweepReport`] into the figure's files.  The `fig*` binaries and the
+//! `pbe-bench artifact` pipeline both run on these functions, so a figure's
+//! CSV is identical whether its points were freshly simulated by the binary
+//! or served out of the result store.  The split is the pipeline's contract:
+//! grids depend only on `seconds`, renderers depend only on the report, and
+//! nothing in between may touch a clock, a thread count or the store.
+
+use crate::scenarios::paper_schemes;
+use crate::sweep::{ReportWriter, ScenarioSpec, SweepGrid, SweepReport};
+use crate::table::TextTable;
+use crate::{Location, LocationKind};
+use pbe_cc_algorithms::api::SchemeName;
+use pbe_cellular::channel::MobilityTrace;
+use pbe_cellular::config::{CellId, UeConfig, UeId};
+use pbe_cellular::traffic::CellLoadProfile;
+use pbe_netsim::{AppModel, FlowConfig, PrbInterval, SchemeChoice, SimResult};
+use pbe_stats::jain::jain_index;
+use pbe_stats::percentile::median;
+use pbe_stats::time::{Duration, Instant};
+use std::io;
+
+// ---------------------------------------------------------------------------
+// fig13_14_stationary
+// ---------------------------------------------------------------------------
+
+fn representative_locations() -> Vec<(&'static str, Location)> {
+    let mk = |index, kind, cells, busy, rssi| Location {
+        index,
+        kind,
+        aggregated_cells: cells,
+        busy,
+        rssi_dbm: rssi,
+    };
+    vec![
+        (
+            "Fig13a indoor 1CC busy",
+            mk(100, LocationKind::Indoor, 1, true, -95.0),
+        ),
+        (
+            "Fig13b indoor 2CC busy",
+            mk(101, LocationKind::Indoor, 2, true, -93.0),
+        ),
+        (
+            "Fig13c indoor 3CC busy",
+            mk(102, LocationKind::Indoor, 3, true, -91.0),
+        ),
+        (
+            "Fig13d indoor 3CC idle",
+            mk(103, LocationKind::Indoor, 3, false, -91.0),
+        ),
+        (
+            "Fig14a outdoor 2CC busy",
+            mk(104, LocationKind::Outdoor, 2, true, -85.0),
+        ),
+        (
+            "Fig14b outdoor 2CC idle",
+            mk(105, LocationKind::Outdoor, 2, false, -85.0),
+        ),
+    ]
+}
+
+/// Figures 13/14: six representative stationary locations × the paper's
+/// eight schemes.
+pub fn stationary_grid(seconds: u64) -> SweepGrid {
+    let duration = Duration::from_secs(seconds);
+    let scenarios: Vec<ScenarioSpec> = representative_locations()
+        .iter()
+        .map(|(label, loc)| ScenarioSpec::from_location(*label, loc, duration))
+        .collect();
+    SweepGrid::over(scenarios).schemes(paper_schemes().into_iter().map(|(s, _)| s))
+}
+
+/// Figures 13/14 renderer: one order-statistics table per location.
+pub fn render_stationary(
+    report: &SweepReport,
+    _seconds: u64,
+    writer: &ReportWriter,
+) -> io::Result<()> {
+    for (i, label) in report.labels().iter().enumerate() {
+        let mut table = TextTable::new(&[
+            "scheme",
+            "tput p25",
+            "tput p50",
+            "tput p75",
+            "delay p25 (ms)",
+            "delay p50",
+            "delay p75",
+            "delay p95",
+        ]);
+        let mut rssi = 0.0;
+        for outcome in report.by_label(label) {
+            rssi = outcome.spec.ues[0].0.rssi_dbm;
+            let s = &outcome.result.flows[0].summary;
+            table.row(&[
+                outcome.spec.scheme.to_string(),
+                format!("{:.1}", s.throughput_percentiles_mbps[1]),
+                format!("{:.1}", s.throughput_percentiles_mbps[2]),
+                format!("{:.1}", s.throughput_percentiles_mbps[3]),
+                format!("{:.0}", s.delay_percentiles_ms[1]),
+                format!("{:.0}", s.delay_percentiles_ms[2]),
+                format!("{:.0}", s.delay_percentiles_ms[3]),
+                format!("{:.0}", s.p95_delay_ms),
+            ]);
+        }
+        let name = format!("fig13_14_location_{i}");
+        writer.table(&name, &format!("{label} (RSSI {rssi} dBm)"), &table)?;
+    }
+    writer.note(
+        "\nPaper reference: PBE-CC and BBR have comparable (highest) throughput, with PBE-CC at",
+    );
+    writer.note("markedly lower delay; Verus high throughput but excessive delay; CUBIC erratic;");
+    writer.note("Copa/PCC/Vivace/Sprout low throughput with low delay.");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// fig16_17_mobility
+// ---------------------------------------------------------------------------
+
+const MOBILITY_LABEL: &str = "Fig16 mobility walk";
+
+/// Figures 16/17: the paper's mobility walk (−85 → −105 → −85 dBm) × eight
+/// schemes.
+pub fn mobility_grid(seconds: u64) -> SweepGrid {
+    let ue = UeId(1);
+    let duration = Duration::from_secs(seconds);
+    let scenario = ScenarioSpec::new(MOBILITY_LABEL, SchemeChoice::Pbe, duration)
+        .load(CellLoadProfile::idle())
+        .seed(16)
+        .ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1), CellId(2)], 2, -85.0),
+            MobilityTrace::paper_mobility_walk(),
+        )
+        .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration));
+    SweepGrid::over(vec![scenario]).schemes(paper_schemes().into_iter().map(|(s, _)| s))
+}
+
+/// Figures 16/17 renderer: the all-scheme comparison plus the PBE/BBR
+/// 2-second timeline.
+pub fn render_mobility(
+    report: &SweepReport,
+    seconds: u64,
+    writer: &ReportWriter,
+) -> io::Result<()> {
+    let mut table = TextTable::new(&[
+        "scheme",
+        "avg tput (Mbit/s)",
+        "median delay (ms)",
+        "p95 delay (ms)",
+    ]);
+    for outcome in report.by_label(MOBILITY_LABEL) {
+        let s = &outcome.result.flows[0].summary;
+        table.row(&[
+            outcome.spec.scheme.to_string(),
+            format!("{:.1}", s.avg_throughput_mbps),
+            format!("{:.0}", s.delay_percentiles_ms[2]),
+            format!("{:.0}", s.p95_delay_ms),
+        ]);
+    }
+    writer.table("fig16_schemes", "Fig16: all schemes", &table)?;
+
+    let pbe = &report
+        .outcome(MOBILITY_LABEL, "PBE")
+        .expect("PBE ran")
+        .result;
+    let bbr = &report
+        .outcome(MOBILITY_LABEL, "BBR")
+        .expect("BBR ran")
+        .result;
+    let mut t = TextTable::new(&["t (s)", "PBE tput", "PBE delay", "BBR tput", "BBR delay"]);
+    let intervals = (seconds / 2) as usize;
+    for i in 0..intervals {
+        let slice = |r: &SimResult| {
+            let f = &r.flows[0];
+            let lo = i * 20;
+            let hi = ((i + 1) * 20).min(f.throughput_timeline_mbps.len());
+            let tput = median(&f.throughput_timeline_mbps[lo..hi]).unwrap_or(0.0);
+            let delays: Vec<f64> = f.delay_timeline_ms[lo..hi]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            (tput, median(&delays).unwrap_or(0.0))
+        };
+        let (pt, pd) = slice(pbe);
+        let (bt, bd) = slice(bbr);
+        t.row(&[
+            format!("{}", i * 2),
+            format!("{pt:.1}"),
+            format!("{pd:.0}"),
+            format!("{bt:.1}"),
+            format!("{bd:.0}"),
+        ]);
+    }
+    writer.table(
+        "fig17_timeline",
+        "Fig17: per-2-second median throughput and delay, PBE vs BBR",
+        &t,
+    )?;
+    writer.note(
+        "\nPaper reference: PBE-CC tracks the capacity drop (13-26 s) and recovery (26-30 s) with",
+    );
+    writer.note(
+        "near-zero queueing; BBR overreacts to the drop and overshoots on recovery, inflating delay.",
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// fig18_19_competition
+// ---------------------------------------------------------------------------
+
+const COMPETITION_LABEL: &str = "Fig18 on-off competition";
+
+/// Figures 18/19: a flow under test against an on-off 60 Mbit/s competitor,
+/// × eight schemes.
+pub fn competition_grid(seconds: u64) -> SweepGrid {
+    let ue = UeId(1);
+    let competitor = UeId(2);
+    let duration = Duration::from_secs(seconds);
+    let mut spec = ScenarioSpec::new(COMPETITION_LABEL, SchemeChoice::Pbe, duration)
+        .load(CellLoadProfile::idle())
+        .seed(18)
+        .ue(
+            UeConfig::new(ue, vec![CellId(0)], 1, -88.0),
+            MobilityTrace::stationary(-88.0),
+        )
+        .ue(
+            UeConfig::new(competitor, vec![CellId(0)], 1, -88.0),
+            MobilityTrace::stationary(-88.0),
+        )
+        .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration));
+    // Competing 60 Mbit/s flow for 4 s out of every 8 s, on a second device.
+    let mut id = 100;
+    let mut t = 4u64;
+    while t + 4 <= seconds {
+        spec = spec.background_flow(
+            FlowConfig {
+                app: AppModel::ConstantRate(60e6),
+                ..FlowConfig::bulk(id, competitor, SchemeChoice::FixedRate, duration)
+            }
+            .with_lifetime(Instant::from_secs(t), Instant::from_secs(t + 4)),
+        );
+        id += 1;
+        t += 8;
+    }
+    SweepGrid::over(vec![spec]).schemes(paper_schemes().into_iter().map(|(s, _)| s))
+}
+
+/// Figures 18/19 renderer: all-scheme comparison plus the PBE/BBR 200 ms
+/// timeline with the competitor's on-intervals marked.
+pub fn render_competition(
+    report: &SweepReport,
+    _seconds: u64,
+    writer: &ReportWriter,
+) -> io::Result<()> {
+    let mut table = TextTable::new(&[
+        "scheme",
+        "avg tput (Mbit/s)",
+        "avg delay (ms)",
+        "p95 delay (ms)",
+    ]);
+    for outcome in report.by_label(COMPETITION_LABEL) {
+        let s = &outcome.result.flows[0].summary;
+        table.row(&[
+            outcome.spec.scheme.to_string(),
+            format!("{:.1}", s.avg_throughput_mbps),
+            format!("{:.0}", s.avg_delay_ms),
+            format!("{:.0}", s.p95_delay_ms),
+        ]);
+    }
+    writer.table("fig18_schemes", "Fig18: all schemes", &table)?;
+
+    let pbe = &report
+        .outcome(COMPETITION_LABEL, "PBE")
+        .expect("PBE ran")
+        .result;
+    let bbr = &report
+        .outcome(COMPETITION_LABEL, "BBR")
+        .expect("BBR ran")
+        .result;
+    let mut t = TextTable::new(&[
+        "t (s)",
+        "competitor",
+        "PBE tput",
+        "PBE delay",
+        "BBR tput",
+        "BBR delay",
+    ]);
+    let windows = pbe.flows[0].throughput_timeline_mbps.len();
+    for w in (0..windows).step_by(2) {
+        let time_s = w as f64 * 0.1;
+        let competitor_on =
+            ((time_s as u64).saturating_sub(4) / 4).is_multiple_of(2) && time_s >= 4.0;
+        let cell = |r: &SimResult| {
+            let f = &r.flows[0];
+            (
+                f.throughput_timeline_mbps[w],
+                f.delay_timeline_ms[w].unwrap_or(0.0),
+            )
+        };
+        let (pt, pd) = cell(pbe);
+        let (bt, bd) = cell(bbr);
+        t.row(&[
+            format!("{time_s:.1}"),
+            if competitor_on {
+                "on".into()
+            } else {
+                "".into()
+            },
+            format!("{pt:.1}"),
+            format!("{pd:.0}"),
+            format!("{bt:.1}"),
+            format!("{bd:.0}"),
+        ]);
+    }
+    writer.table(
+        "fig19_timeline",
+        "Fig19: 200 ms-granularity timeline (competitor on during shaded intervals)",
+        &t,
+    )?;
+    writer.note(
+        "\nPaper reference: PBE-CC ~57 Mbit/s with 61/71 ms avg/p95 delay; BBR slightly more",
+    );
+    writer.note("throughput but 147/227 ms delay; CUBIC and Verus 250-400+ ms delay.");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// fig20_multi_connection
+// ---------------------------------------------------------------------------
+
+const MULTI_LABEL: &str = "Fig20 two connections";
+
+/// Figure 20: one device running two concurrent connections, × eight
+/// schemes.
+pub fn multi_connection_grid(seconds: u64) -> SweepGrid {
+    let ue = UeId(1);
+    let duration = Duration::from_secs(seconds);
+    let scenario = ScenarioSpec::new(MULTI_LABEL, SchemeChoice::Pbe, duration)
+        .load(CellLoadProfile::idle())
+        .seed(20)
+        .ue(
+            UeConfig::new(ue, vec![CellId(0), CellId(1)], 2, -87.0),
+            MobilityTrace::stationary(-87.0),
+        )
+        .flow(
+            FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)
+                .with_one_way_delay(Duration::from_millis(24)),
+        )
+        .flow(
+            FlowConfig::bulk(2, ue, SchemeChoice::Pbe, duration)
+                .with_one_way_delay(Duration::from_millis(32)),
+        );
+    SweepGrid::over(vec![scenario]).schemes(paper_schemes().into_iter().map(|(s, _)| s))
+}
+
+/// Figure 20 renderer: per-flow throughput/delay and the balance ratio.
+pub fn render_multi_connection(
+    report: &SweepReport,
+    _seconds: u64,
+    writer: &ReportWriter,
+) -> io::Result<()> {
+    let mut table = TextTable::new(&[
+        "scheme",
+        "flow1 tput",
+        "flow2 tput",
+        "flow1 med delay",
+        "flow2 med delay",
+        "tput ratio",
+    ]);
+    for outcome in report.by_label(MULTI_LABEL) {
+        let a = &outcome.result.flows[0].summary;
+        let b = &outcome.result.flows[1].summary;
+        let ratio = if b.avg_throughput_mbps > 0.0 {
+            a.avg_throughput_mbps / b.avg_throughput_mbps
+        } else {
+            f64::INFINITY
+        };
+        table.row(&[
+            outcome.spec.scheme.to_string(),
+            format!("{:.1}", a.avg_throughput_mbps),
+            format!("{:.1}", b.avg_throughput_mbps),
+            format!("{:.0}", a.delay_percentiles_ms[2]),
+            format!("{:.0}", b.delay_percentiles_ms[2]),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    writer.table("fig20_two_connections", "Fig20: all schemes", &table)?;
+    writer.note(
+        "\nPaper reference: PBE-CC gives both flows similar throughput (26 / 28 Mbit/s, median",
+    );
+    writer.note("delays 48 / 56 ms); BBR splits 10 / 35 Mbit/s between its two flows.");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// fig21_fairness
+// ---------------------------------------------------------------------------
+
+struct FairnessCase {
+    label: &'static str,
+    schemes: [SchemeChoice; 3],
+    delays_ms: [u64; 3],
+}
+
+fn fairness_cases() -> Vec<FairnessCase> {
+    let pbe = SchemeChoice::Pbe;
+    let bbr = SchemeChoice::Baseline(SchemeName::Bbr);
+    let cubic = SchemeChoice::Baseline(SchemeName::Cubic);
+    vec![
+        FairnessCase {
+            label: "(a) three PBE flows, similar RTTs",
+            schemes: [pbe.clone(), pbe.clone(), pbe.clone()],
+            delays_ms: [24, 26, 28],
+        },
+        FairnessCase {
+            label: "(b) three PBE flows, RTTs 52/64/297 ms",
+            schemes: [pbe.clone(), pbe.clone(), pbe.clone()],
+            delays_ms: [26, 32, 148],
+        },
+        FairnessCase {
+            label: "(c) two PBE flows + one BBR flow",
+            schemes: [pbe.clone(), bbr, pbe.clone()],
+            delays_ms: [24, 26, 28],
+        },
+        FairnessCase {
+            label: "(d) two PBE flows + one CUBIC flow",
+            schemes: [pbe.clone(), cubic, pbe],
+            delays_ms: [24, 26, 28],
+        },
+    ]
+}
+
+fn fairness_scenario(case: &FairnessCase, total_s: u64) -> ScenarioSpec {
+    let duration = Duration::from_secs(total_s);
+    // Start/stop pattern scaled from the paper's 60 s to `total_s`.
+    let scale = total_s as f64 / 60.0;
+    let starts = [0.0, 10.0 * scale, 20.0 * scale];
+    let stops = [60.0 * scale, 50.0 * scale, 40.0 * scale];
+    let ues = [UeId(1), UeId(2), UeId(3)];
+
+    let mut spec = ScenarioSpec::new(case.label, SchemeChoice::Pbe, duration).seed(21);
+    for ue in ues {
+        spec = spec.ue(
+            UeConfig::new(ue, vec![CellId(0)], 1, -86.0),
+            MobilityTrace::stationary(-86.0),
+        );
+    }
+    for i in 0..3 {
+        // Every flow keeps its configured scheme: these are fixed-cast
+        // scenarios, not points on a scheme axis.
+        spec = spec.background_flow(
+            FlowConfig::bulk(i as u32 + 1, ues[i], case.schemes[i].clone(), duration)
+                .with_one_way_delay(Duration::from_millis(case.delays_ms[i]))
+                .with_lifetime(
+                    Instant::from_millis((starts[i] * 1000.0) as u64),
+                    Instant::from_millis((stops[i] * 1000.0) as u64),
+                ),
+        );
+    }
+    spec
+}
+
+/// Figure 21: the four staggered-flow fairness cases (no scheme axis — each
+/// case fixes its own cast).
+pub fn fairness_grid(seconds: u64) -> SweepGrid {
+    SweepGrid::over(
+        fairness_cases()
+            .iter()
+            .map(|case| fairness_scenario(case, seconds))
+            .collect(),
+    )
+}
+
+/// Figure 21 renderer: per-case PRB timelines plus Jain's index notes.
+pub fn render_fairness(
+    report: &SweepReport,
+    seconds: u64,
+    writer: &ReportWriter,
+) -> io::Result<()> {
+    for (case_index, outcome) in report.outcomes.iter().enumerate() {
+        let intervals: &[PrbInterval] = &outcome.result.primary_prb_timeline;
+        let mut table = TextTable::new(&["t (s)", "flow1 PRBs", "flow2 PRBs", "flow3 PRBs"]);
+        for interval in intervals.iter().step_by(10) {
+            table.row(&[
+                format!("{:.0}", interval.start_s),
+                format!("{:.0}", interval.prbs_for(1)),
+                format!("{:.0}", interval.prbs_for(2)),
+                format!("{:.0}", interval.prbs_for(3)),
+            ]);
+        }
+        writer.table(
+            &format!("fig21_case_{case_index}"),
+            &outcome.spec.label,
+            &table,
+        )?;
+
+        // Jain's index over the window where all three flows are active
+        // (scaled 20-40 s window) and where exactly two are active (10-20 s).
+        let scale = seconds as f64 / 60.0;
+        let jain_over = |lo_s: f64, hi_s: f64, flows: &[u32]| {
+            let totals: Vec<f64> = flows
+                .iter()
+                .map(|id| {
+                    intervals
+                        .iter()
+                        .filter(|iv| iv.start_s >= lo_s && iv.start_s < hi_s)
+                        .map(|iv| iv.prbs_for(*id))
+                        .sum()
+                })
+                .collect();
+            jain_index(&totals)
+        };
+        let two = jain_over(10.0 * scale, 20.0 * scale, &[1, 2]);
+        let three = jain_over(20.0 * scale, 40.0 * scale, &[1, 2, 3]);
+        writer.note(&format!(
+            "Jain's index: two concurrent flows {:.2}%, three concurrent flows {:.2}%\n",
+            two * 100.0,
+            three * 100.0
+        ));
+    }
+    writer.note(
+        "\nPaper reference: Jain's index 98.3-99.97% in every case; the base station's fairness",
+    );
+    writer.note("policy keeps CUBIC/BBR from starving the PBE-CC flows.");
+    Ok(())
+}

@@ -1,0 +1,272 @@
+//! The artifact pipeline: one command that reproduces every figure, with a
+//! content-addressed result store so re-runs only execute what changed.
+//!
+//! ```text
+//! pbe-bench artifact --all --store results/ --out figures/
+//! pbe-bench artifact --figure fig16_17_mobility --seconds 4 --store results/
+//! pbe-bench artifact --list
+//! ```
+//!
+//! The pipeline is three orthogonal pieces:
+//!
+//! * [`mod@registry`] — every sweep-backed figure as a [`FigureSpec`]: a grid
+//!   builder (`fn(seconds) -> SweepGrid`) plus a renderer
+//!   (`fn(&SweepReport, seconds, &ReportWriter)`).  The `fig*` binaries call
+//!   the same two functions, so binary and pipeline output are identical.
+//! * [`store`] — the on-disk [`ResultStore`]: one JSON blob per executed
+//!   grid point, addressed by the spec's
+//!   [content key](crate::sweep::ScenarioSpec::content_key), joined by an
+//!   append-only `manifest.jsonl`.
+//! * [`exec`] — [`run_cached`]: expand the grid, serve every point whose key
+//!   is present, execute and persist the rest.
+//!
+//! Because the key is a canonical content hash of the expanded spec, the
+//! cache is invalidated by *meaning*, not by text: editing a figure's grid
+//! (different seed, duration, load profile…) changes the keys and exactly
+//! those points re-run, while reordering fields or spelling out serde
+//! defaults changes nothing.  Simulation counts go to stderr; stdout stays
+//! byte-identical run to run, which is what the cache-equivalence tests and
+//! the CI smoke job `cmp` against.
+
+pub mod exec;
+pub mod figures;
+pub mod registry;
+pub mod store;
+
+pub use exec::{run_cached, CachedRun};
+pub use registry::{find, registry, FigureSpec};
+pub use store::{ManifestEntry, ResultStore, StoredPoint};
+
+use crate::sweep::{OutputFormat, ReportWriter};
+use std::io;
+use std::path::PathBuf;
+
+/// Usage string of the `artifact` subcommand.
+pub const USAGE: &str = "usage: pbe-bench artifact (--all | --figure NAME)... [--list] \
+[--store DIR] [--out DIR] [--seconds N] [--workers N] [--serial] [--format text|csv|json]";
+
+/// Parsed command line of `pbe-bench artifact`.
+#[derive(Debug, Clone)]
+pub struct ArtifactArgs {
+    /// Run every registered figure.
+    pub all: bool,
+    /// Explicit figure names (used when `all` is false).
+    pub figures: Vec<String>,
+    /// Print the registry and exit.
+    pub list: bool,
+    /// Result-store directory (no caching when absent).
+    pub store: Option<PathBuf>,
+    /// Report output directory (stdout when absent).
+    pub out: Option<PathBuf>,
+    /// Override every figure's per-scenario duration.
+    pub seconds: Option<u64>,
+    /// Worker threads; 0 means all available cores.
+    pub workers: usize,
+    /// Table output format (CSV by default — artifact output is plot input).
+    pub format: OutputFormat,
+}
+
+impl ArtifactArgs {
+    /// Parse the arguments following `pbe-bench artifact`.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut parsed = ArtifactArgs {
+            all: false,
+            figures: Vec::new(),
+            list: false,
+            store: None,
+            out: None,
+            seconds: None,
+            workers: 0,
+            format: OutputFormat::Csv,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_of = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--all" => parsed.all = true,
+                "--list" => parsed.list = true,
+                "--figure" => parsed.figures.push(value_of("--figure")?),
+                "--store" => parsed.store = Some(PathBuf::from(value_of("--store")?)),
+                "--out" | "-o" => parsed.out = Some(PathBuf::from(value_of("--out")?)),
+                "--seconds" => {
+                    parsed.seconds = Some(
+                        value_of("--seconds")?
+                            .parse()
+                            .map_err(|_| "--seconds expects a positive integer".to_string())?,
+                    )
+                }
+                "--workers" | "-w" => {
+                    parsed.workers = value_of("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers expects a count".to_string())?
+                }
+                "--serial" => parsed.workers = 1,
+                "--format" | "-f" => {
+                    parsed.format = match value_of("--format")?.as_str() {
+                        "text" => OutputFormat::Text,
+                        "csv" => OutputFormat::Csv,
+                        "json" => OutputFormat::Json,
+                        other => {
+                            return Err(format!("--format takes text, csv or json, not {other:?}"))
+                        }
+                    }
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        if !parsed.list && !parsed.all && parsed.figures.is_empty() {
+            return Err("pick figures with --all or --figure NAME (or --list to see them)".into());
+        }
+        Ok(parsed)
+    }
+
+    /// The figures this invocation runs, in registry order.
+    pub fn selected(&self) -> Result<Vec<FigureSpec>, String> {
+        if self.all {
+            return Ok(registry());
+        }
+        let mut selected = Vec::new();
+        for name in &self.figures {
+            match find(name) {
+                Some(fig) => {
+                    if !selected.iter().any(|f: &FigureSpec| f.name == fig.name) {
+                        selected.push(fig);
+                    }
+                }
+                None => {
+                    let known: Vec<&str> = registry().iter().map(|f| f.name).collect();
+                    return Err(format!(
+                        "unknown figure `{name}` (known: {})",
+                        known.join(", ")
+                    ));
+                }
+            }
+        }
+        Ok(selected)
+    }
+}
+
+/// Aggregate accounting of one `pbe-bench artifact` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactSummary {
+    /// Figures rendered.
+    pub figures: usize,
+    /// Grid points that simulated in this invocation.
+    pub executed: usize,
+    /// Grid points served from the result store.
+    pub cached: usize,
+}
+
+/// Run the selected figures: expand, execute-or-serve, render.
+///
+/// Returns the invocation's cache accounting; the same numbers go to stderr
+/// (stdout carries only report data, so two invocations with a warm store
+/// stay byte-identical).
+pub fn run_artifact(args: &ArtifactArgs) -> io::Result<ArtifactSummary> {
+    let figures = args
+        .selected()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    if args.list {
+        for fig in registry() {
+            println!(
+                "{:<24} {} (default {} s)",
+                fig.name, fig.title, fig.default_seconds
+            );
+        }
+        return Ok(ArtifactSummary {
+            figures: 0,
+            executed: 0,
+            cached: 0,
+        });
+    }
+
+    let mut store = match &args.store {
+        Some(dir) => Some(ResultStore::open(dir)?),
+        None => None,
+    };
+    let writer = ReportWriter::new(args.format, args.out.clone())?;
+    let mut summary = ArtifactSummary {
+        figures: 0,
+        executed: 0,
+        cached: 0,
+    };
+    for fig in &figures {
+        let seconds = args.seconds.unwrap_or(fig.default_seconds);
+        let specs = (fig.grid)(seconds).expand();
+        let run = run_cached(fig.name, specs, store.as_mut(), args.workers)?;
+        eprintln!(
+            "artifact: {}: executed {} simulation(s), {} cache hit(s)",
+            fig.name, run.executed, run.cached
+        );
+        if writer.wants_json() {
+            writer.sweep_json(fig.name, &run.report)?;
+        } else {
+            (fig.render)(&run.report, seconds, &writer)?;
+        }
+        summary.figures += 1;
+        summary.executed += run.executed;
+        summary.cached += run.cached;
+    }
+    eprintln!(
+        "artifact: executed {} simulation(s), {} cache hit(s) across {} figure(s)",
+        summary.executed, summary.cached, summary.figures
+    );
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> Result<ArtifactArgs, String> {
+        let owned: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+        ArtifactArgs::parse(&owned)
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let a = parse(&[
+            "--figure",
+            "fig21_fairness",
+            "--figure",
+            "fig16_17_mobility",
+            "--store",
+            "/tmp/s",
+            "--out",
+            "/tmp/o",
+            "--seconds",
+            "4",
+            "--serial",
+            "--format",
+            "text",
+        ])
+        .unwrap();
+        assert!(!a.all);
+        assert_eq!(a.figures.len(), 2);
+        assert_eq!(a.store.as_deref(), Some(std::path::Path::new("/tmp/s")));
+        assert_eq!(a.seconds, Some(4));
+        assert_eq!(a.workers, 1);
+        assert_eq!(a.format, OutputFormat::Text);
+        let names: Vec<&str> = a.selected().unwrap().iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["fig21_fairness", "fig16_17_mobility"]);
+    }
+
+    #[test]
+    fn all_selects_the_whole_registry_in_order() {
+        let a = parse(&["--all"]).unwrap();
+        assert_eq!(a.selected().unwrap().len(), 5);
+        assert_eq!(a.format, OutputFormat::Csv, "artifact defaults to CSV");
+    }
+
+    #[test]
+    fn rejects_an_empty_selection_and_unknown_figures() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        let a = parse(&["--figure", "fig99_nope"]).unwrap();
+        assert!(a.selected().is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! The on-disk, content-addressed result store.
+//!
+//! Layout under the store directory (`--store DIR`):
+//!
+//! ```text
+//! DIR/
+//!   manifest.jsonl          one ManifestEntry JSON object per line,
+//!                           appended as each point completes
+//!   points/<key>.json       one StoredPoint blob per executed grid point
+//! ```
+//!
+//! The `key` is the spec's [content key](ScenarioSpec::content_key).  A point
+//! counts as *present* only when both a manifest line names its key **and**
+//! its blob file exists; everything else re-executes.  That rule makes the
+//! store honest about interruption from either side: a process killed
+//! between the blob write and the manifest append leaves an orphaned blob
+//! (ignored, re-run), a manifest truncated by hand (or a torn final line)
+//! drops exactly the truncated points, and deleting one `points/<key>.json`
+//! invalidates exactly that point.  Writes go blob first (to a temp file,
+//! then renamed into place), manifest line last, so a key listed in the
+//! manifest almost always has its blob — and the presence rule covers the
+//! window where it does not.
+
+use crate::sweep::ScenarioSpec;
+use pbe_netsim::SimResult;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// One line of `manifest.jsonl`: the join record between a stored blob and
+/// the figure/grid point that produced it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// The point's content key (blob file name stem).
+    pub key: String,
+    /// Registry name of the figure that executed the point.
+    pub figure: String,
+    /// The scenario label of the point's spec.
+    pub label: String,
+    /// The scheme label (`spec.scheme.id()`).
+    pub scheme: String,
+    /// The expanded experiment seed.
+    pub seed: u64,
+}
+
+/// One stored grid point: the expanded spec that ran and its full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredPoint {
+    /// The point's content key (matches the file name and manifest line).
+    pub key: String,
+    /// The fully expanded spec (scheme and seed substituted).
+    pub spec: ScenarioSpec,
+    /// The simulator's result for that spec.
+    pub result: SimResult,
+}
+
+/// A content-addressed directory of executed grid points.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    /// Every parsed manifest line, in file order (duplicates possible when a
+    /// point was invalidated and re-run; the last line wins).
+    entries: Vec<ManifestEntry>,
+    /// key → index into `entries`, restricted to keys whose blob exists.
+    present: BTreeMap<String, usize>,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    ///
+    /// Malformed manifest lines — e.g. the torn final line of an interrupted
+    /// run — are skipped, not fatal: their points simply count as absent and
+    /// re-execute.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("points"))?;
+        let mut entries = Vec::new();
+        let mut present = BTreeMap::new();
+        let manifest = dir.join("manifest.jsonl");
+        if manifest.exists() {
+            for line in fs::read_to_string(&manifest)?.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let Ok(entry) = serde_json::from_str::<ManifestEntry>(line) else {
+                    continue;
+                };
+                if dir
+                    .join("points")
+                    .join(format!("{}.json", entry.key))
+                    .is_file()
+                {
+                    present.insert(entry.key.clone(), entries.len());
+                }
+                entries.push(entry);
+            }
+        }
+        Ok(ResultStore {
+            dir,
+            entries,
+            present,
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the manifest file.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.jsonl")
+    }
+
+    /// Path of a point's blob file.
+    pub fn point_path(&self, key: &str) -> PathBuf {
+        self.dir.join("points").join(format!("{key}.json"))
+    }
+
+    /// Number of present points (manifest line **and** blob).
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// True when the store holds no present points.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// Whether a point is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.present.contains_key(key)
+    }
+
+    /// The manifest entry of a present point.
+    pub fn entry(&self, key: &str) -> Option<&ManifestEntry> {
+        self.present.get(key).map(|&i| &self.entries[i])
+    }
+
+    /// Every manifest entry whose point is present, in manifest order.
+    pub fn present_entries(&self) -> Vec<&ManifestEntry> {
+        let mut indices: Vec<usize> = self.present.values().copied().collect();
+        indices.sort_unstable();
+        indices.into_iter().map(|i| &self.entries[i]).collect()
+    }
+
+    /// Load a present point's blob.  Returns `None` for absent keys and for
+    /// blobs that no longer parse (both mean: re-execute).
+    pub fn get(&self, key: &str) -> Option<StoredPoint> {
+        if !self.contains(key) {
+            return None;
+        }
+        let text = fs::read_to_string(self.point_path(key)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Persist one executed point: blob first (temp file + rename), manifest
+    /// line last.
+    pub fn insert(&mut self, figure: &str, point: &StoredPoint) -> io::Result<()> {
+        let entry = ManifestEntry {
+            key: point.key.clone(),
+            figure: figure.to_string(),
+            label: point.spec.label.clone(),
+            scheme: point.spec.scheme.id().to_string(),
+            seed: point.spec.seed,
+        };
+        let blob = serde_json::to_string(point).expect("stored point serializes");
+        let path = self.point_path(&point.key);
+        let tmp = self.dir.join("points").join(format!(".{}.tmp", point.key));
+        fs::write(&tmp, blob)?;
+        fs::rename(&tmp, &path)?;
+        let line = serde_json::to_string(&entry).expect("manifest entry serializes");
+        let mut manifest = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.manifest_path())?;
+        writeln!(manifest, "{line}")?;
+        self.present.insert(entry.key.clone(), self.entries.len());
+        self.entries.push(entry);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbe_netsim::SchemeChoice;
+    use pbe_stats::time::Duration;
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pbe_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_point(seed: u64) -> StoredPoint {
+        let spec =
+            ScenarioSpec::single_flow("store", SchemeChoice::Pbe, Duration::from_millis(200))
+                .seed(seed);
+        let result = spec.run();
+        StoredPoint {
+            key: spec.content_key(),
+            spec,
+            result,
+        }
+    }
+
+    #[test]
+    fn points_round_trip_and_reopen() {
+        let dir = temp_store("roundtrip");
+        let point = tiny_point(1);
+        let mut store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        store.insert("figX", &point).unwrap();
+        assert!(store.contains(&point.key));
+        assert_eq!(store.entry(&point.key).unwrap().figure, "figX");
+
+        // A fresh handle sees the same state, and the blob is byte-faithful.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        let loaded = reopened.get(&point.key).unwrap();
+        assert_eq!(
+            serde_json::to_string(&loaded.result).unwrap(),
+            serde_json::to_string(&point.result).unwrap()
+        );
+        assert_eq!(loaded.spec.content_key(), point.key);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_blob_or_manifest_line_means_absent() {
+        let dir = temp_store("absent");
+        let a = tiny_point(2);
+        let b = tiny_point(3);
+        {
+            let mut store = ResultStore::open(&dir).unwrap();
+            store.insert("figX", &a).unwrap();
+            store.insert("figX", &b).unwrap();
+        }
+        // Deleting a blob invalidates exactly that point.
+        fs::remove_file(dir.join("points").join(format!("{}.json", a.key))).unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(!store.contains(&a.key));
+        assert!(store.contains(&b.key));
+
+        // Truncating the manifest (simulated kill) invalidates the tail even
+        // though the blob survives.
+        let manifest = fs::read_to_string(dir.join("manifest.jsonl")).unwrap();
+        let first_line: String = manifest.lines().next().unwrap().to_string();
+        fs::write(dir.join("manifest.jsonl"), format!("{first_line}\n")).unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(!store.contains(&b.key));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_line_is_skipped_not_fatal() {
+        let dir = temp_store("torn");
+        let a = tiny_point(4);
+        {
+            let mut store = ResultStore::open(&dir).unwrap();
+            store.insert("figX", &a).unwrap();
+        }
+        // Simulate a kill mid-append: a half-written JSON line.
+        let mut manifest = fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("manifest.jsonl"))
+            .unwrap();
+        write!(manifest, "{{\"key\":\"deadbeef\",\"figu").unwrap();
+        drop(manifest);
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&a.key));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

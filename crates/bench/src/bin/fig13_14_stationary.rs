@@ -3,104 +3,29 @@
 //! (indoor 1/2/3 aggregated cells busy, indoor 3-cell idle, outdoor 2-cell
 //! busy, outdoor 2-cell idle).
 //!
-//! The 6 × 8 grid runs through the parallel sweep harness: each location is a
-//! [`ScenarioSpec`] template crossed with the paper's scheme axis.
+//! The 6 × 8 grid and the table renderer live in the artifact figure
+//! registry (`pbe_bench::artifact`), shared with `pbe-bench artifact`; this
+//! binary is the standalone, always-fresh way to run the same figure.
 
-use pbe_bench::scenarios::paper_schemes;
-use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
-use pbe_bench::{Location, LocationKind, TextTable};
-use pbe_stats::time::Duration;
-
-fn representative_locations() -> Vec<(&'static str, Location)> {
-    let mk = |index, kind, cells, busy, rssi| Location {
-        index,
-        kind,
-        aggregated_cells: cells,
-        busy,
-        rssi_dbm: rssi,
-    };
-    vec![
-        (
-            "Fig13a indoor 1CC busy",
-            mk(100, LocationKind::Indoor, 1, true, -95.0),
-        ),
-        (
-            "Fig13b indoor 2CC busy",
-            mk(101, LocationKind::Indoor, 2, true, -93.0),
-        ),
-        (
-            "Fig13c indoor 3CC busy",
-            mk(102, LocationKind::Indoor, 3, true, -91.0),
-        ),
-        (
-            "Fig13d indoor 3CC idle",
-            mk(103, LocationKind::Indoor, 3, false, -91.0),
-        ),
-        (
-            "Fig14a outdoor 2CC busy",
-            mk(104, LocationKind::Outdoor, 2, true, -85.0),
-        ),
-        (
-            "Fig14b outdoor 2CC idle",
-            mk(105, LocationKind::Outdoor, 2, false, -85.0),
-        ),
-    ]
-}
+use pbe_bench::artifact;
+use pbe_bench::sweep::SweepArgs;
 
 fn main() -> std::io::Result<()> {
+    let fig = artifact::find("fig13_14_stationary").expect("registered figure");
     let args = SweepArgs::parse();
-    let seconds = args.seconds_or(8);
-    let duration = Duration::from_secs(seconds);
+    let seconds = args.seconds_or(fig.default_seconds);
     let writer = args.writer()?;
     writer.note(&format!(
         "Figures 13/14 reproduction: 6 representative locations × 8 schemes × {seconds} s\n"
     ));
 
-    let scenarios: Vec<ScenarioSpec> = representative_locations()
-        .iter()
-        .map(|(label, loc)| ScenarioSpec::from_location(*label, loc, duration))
-        .collect();
-    let grid = SweepGrid::over(scenarios).schemes(paper_schemes().into_iter().map(|(s, _)| s));
-    let report = args.runner().run(grid.expand());
-
+    let report = args.runner().run((fig.grid)(seconds).expand());
     if writer.wants_json() {
-        writer.sweep_json("fig13_14_stationary", &report)?;
-    } else {
-        for (i, label) in report.labels().iter().enumerate() {
-            let mut table = TextTable::new(&[
-                "scheme",
-                "tput p25",
-                "tput p50",
-                "tput p75",
-                "delay p25 (ms)",
-                "delay p50",
-                "delay p75",
-                "delay p95",
-            ]);
-            let mut rssi = 0.0;
-            for outcome in report.by_label(label) {
-                rssi = outcome.spec.ues[0].0.rssi_dbm;
-                let s = &outcome.result.flows[0].summary;
-                table.row(&[
-                    outcome.spec.scheme.to_string(),
-                    format!("{:.1}", s.throughput_percentiles_mbps[1]),
-                    format!("{:.1}", s.throughput_percentiles_mbps[2]),
-                    format!("{:.1}", s.throughput_percentiles_mbps[3]),
-                    format!("{:.0}", s.delay_percentiles_ms[1]),
-                    format!("{:.0}", s.delay_percentiles_ms[2]),
-                    format!("{:.0}", s.delay_percentiles_ms[3]),
-                    format!("{:.0}", s.p95_delay_ms),
-                ]);
-            }
-            let name = format!("fig13_14_location_{i}");
-            writer.table(&name, &format!("{label} (RSSI {rssi} dBm)"), &table)?;
-        }
+        writer.sweep_json(fig.name, &report)?;
+        writer.timing(&report);
+        return Ok(());
     }
+    (fig.render)(&report, seconds, &writer)?;
     writer.timing(&report);
-    writer.note(
-        "\nPaper reference: PBE-CC and BBR have comparable (highest) throughput, with PBE-CC at",
-    );
-    writer.note("markedly lower delay; Verus high throughput but excessive delay; CUBIC erratic;");
-    writer.note("Copa/PCC/Vivace/Sprout low throughput with low delay.");
     Ok(())
 }

@@ -3,108 +3,30 @@
 //! Fig. 16 compares all eight schemes' throughput/delay, Fig. 17 shows the
 //! PBE-CC and BBR timelines in 2-second intervals.
 //!
-//! The eight schemes run as one parallel sweep over a single mobility-trace
-//! [`ScenarioSpec`]; Fig. 17 reads the PBE and BBR timelines back out of the
-//! same [`SweepReport`](pbe_bench::SweepReport).
+//! The single-scenario × eight-scheme grid and both table renderers live in
+//! the artifact figure registry (`pbe_bench::artifact`), shared with
+//! `pbe-bench artifact`; this binary is the standalone, always-fresh way to
+//! run the same figure.
 
-use pbe_bench::scenarios::paper_schemes;
-use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
-use pbe_bench::TextTable;
-use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellId, UeConfig, UeId};
-use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{FlowConfig, SchemeChoice, SimResult};
-use pbe_stats::percentile::median;
-use pbe_stats::time::Duration;
-
-const LABEL: &str = "Fig16 mobility walk";
-
-fn mobility_scenario(seconds: u64) -> ScenarioSpec {
-    let ue = UeId(1);
-    let duration = Duration::from_secs(seconds);
-    ScenarioSpec::new(LABEL, SchemeChoice::Pbe, duration)
-        .load(CellLoadProfile::idle())
-        .seed(16)
-        .ue(
-            UeConfig::new(ue, vec![CellId(0), CellId(1), CellId(2)], 2, -85.0),
-            MobilityTrace::paper_mobility_walk(),
-        )
-        .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration))
-}
+use pbe_bench::artifact;
+use pbe_bench::sweep::SweepArgs;
 
 fn main() -> std::io::Result<()> {
+    let fig = artifact::find("fig16_17_mobility").expect("registered figure");
     let args = SweepArgs::parse();
-    let seconds = args.seconds_or(40);
+    let seconds = args.seconds_or(fig.default_seconds);
     let writer = args.writer()?;
     writer.note(&format!(
         "Figure 16 reproduction: mobility walk -85 -> -105 -> -85 dBm over {seconds} s\n"
     ));
 
-    let grid = SweepGrid::over(vec![mobility_scenario(seconds)])
-        .schemes(paper_schemes().into_iter().map(|(s, _)| s));
-    let report = args.runner().run(grid.expand());
-
+    let report = args.runner().run((fig.grid)(seconds).expand());
     if writer.wants_json() {
-        writer.sweep_json("fig16_17_mobility", &report)?;
+        writer.sweep_json(fig.name, &report)?;
         writer.timing(&report);
         return Ok(());
     }
-
-    let mut table = TextTable::new(&[
-        "scheme",
-        "avg tput (Mbit/s)",
-        "median delay (ms)",
-        "p95 delay (ms)",
-    ]);
-    for outcome in report.by_label(LABEL) {
-        let s = &outcome.result.flows[0].summary;
-        table.row(&[
-            outcome.spec.scheme.to_string(),
-            format!("{:.1}", s.avg_throughput_mbps),
-            format!("{:.0}", s.delay_percentiles_ms[2]),
-            format!("{:.0}", s.p95_delay_ms),
-        ]);
-    }
-    writer.table("fig16_schemes", "Fig16: all schemes", &table)?;
-
-    let pbe = &report.outcome(LABEL, "PBE").expect("PBE ran").result;
-    let bbr = &report.outcome(LABEL, "BBR").expect("BBR ran").result;
-    let mut t = TextTable::new(&["t (s)", "PBE tput", "PBE delay", "BBR tput", "BBR delay"]);
-    let intervals = (seconds / 2) as usize;
-    for i in 0..intervals {
-        let slice = |r: &SimResult| {
-            let f = &r.flows[0];
-            let lo = i * 20;
-            let hi = ((i + 1) * 20).min(f.throughput_timeline_mbps.len());
-            let tput = median(&f.throughput_timeline_mbps[lo..hi]).unwrap_or(0.0);
-            let delays: Vec<f64> = f.delay_timeline_ms[lo..hi]
-                .iter()
-                .flatten()
-                .copied()
-                .collect();
-            (tput, median(&delays).unwrap_or(0.0))
-        };
-        let (pt, pd) = slice(pbe);
-        let (bt, bd) = slice(bbr);
-        t.row(&[
-            format!("{}", i * 2),
-            format!("{pt:.1}"),
-            format!("{pd:.0}"),
-            format!("{bt:.1}"),
-            format!("{bd:.0}"),
-        ]);
-    }
-    writer.table(
-        "fig17_timeline",
-        "Fig17: per-2-second median throughput and delay, PBE vs BBR",
-        &t,
-    )?;
+    (fig.render)(&report, seconds, &writer)?;
     writer.timing(&report);
-    writer.note(
-        "\nPaper reference: PBE-CC tracks the capacity drop (13-26 s) and recovery (26-30 s) with",
-    );
-    writer.note(
-        "near-zero queueing; BBR overreacts to the drop and overshoots on recovery, inflating delay.",
-    );
     Ok(())
 }

@@ -1,137 +1,33 @@
-//! Figures 18 and 19: controlled on-off competition.  A 40-second flow under
-//! test shares the cell with a 60 Mbit/s competitor that is on for 4 seconds
-//! out of every 8.  Fig. 18 compares the schemes; Fig. 19 shows the PBE-CC
-//! and BBR timelines.
+//! Figures 18 and 19: controlled on-off competition.  A flow under test
+//! shares the cell with a 60 Mbit/s competitor that is on for 4 seconds out
+//! of every 8.  Fig. 18 compares the schemes; Fig. 19 shows the PBE-CC and
+//! BBR timelines.
 //!
-//! The competitor flows are background flows of the [`ScenarioSpec`] — only
-//! the flow under test takes the sweep's scheme axis — and the eight schemes
-//! run as one parallel sweep.
+//! The grid (competitor flows as background flows, only the flow under test
+//! takes the scheme axis) and both table renderers live in the artifact
+//! figure registry (`pbe_bench::artifact`), shared with `pbe-bench
+//! artifact`; this binary is the standalone, always-fresh way to run the
+//! same figure.
 
-use pbe_bench::scenarios::paper_schemes;
-use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
-use pbe_bench::TextTable;
-use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellId, UeConfig, UeId};
-use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimResult};
-use pbe_stats::time::{Duration, Instant};
-
-const LABEL: &str = "Fig18 on-off competition";
-
-fn competition_scenario(seconds: u64) -> ScenarioSpec {
-    let ue = UeId(1);
-    let competitor = UeId(2);
-    let duration = Duration::from_secs(seconds);
-    let mut spec = ScenarioSpec::new(LABEL, SchemeChoice::Pbe, duration)
-        .load(CellLoadProfile::idle())
-        .seed(18)
-        .ue(
-            UeConfig::new(ue, vec![CellId(0)], 1, -88.0),
-            MobilityTrace::stationary(-88.0),
-        )
-        .ue(
-            UeConfig::new(competitor, vec![CellId(0)], 1, -88.0),
-            MobilityTrace::stationary(-88.0),
-        )
-        .flow(FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration));
-    // Competing 60 Mbit/s flow for 4 s out of every 8 s, on a second device.
-    let mut id = 100;
-    let mut t = 4u64;
-    while t + 4 <= seconds {
-        spec = spec.background_flow(
-            FlowConfig {
-                app: AppModel::ConstantRate(60e6),
-                ..FlowConfig::bulk(id, competitor, SchemeChoice::FixedRate, duration)
-            }
-            .with_lifetime(Instant::from_secs(t), Instant::from_secs(t + 4)),
-        );
-        id += 1;
-        t += 8;
-    }
-    spec
-}
+use pbe_bench::artifact;
+use pbe_bench::sweep::SweepArgs;
 
 fn main() -> std::io::Result<()> {
+    let fig = artifact::find("fig18_19_competition").expect("registered figure");
     let args = SweepArgs::parse();
-    let seconds = args.seconds_or(24);
+    let seconds = args.seconds_or(fig.default_seconds);
     let writer = args.writer()?;
     writer.note(&format!(
         "Figure 18 reproduction: on-off 60 Mbit/s competitor, {seconds} s runs\n"
     ));
 
-    let grid = SweepGrid::over(vec![competition_scenario(seconds)])
-        .schemes(paper_schemes().into_iter().map(|(s, _)| s));
-    let report = args.runner().run(grid.expand());
-
+    let report = args.runner().run((fig.grid)(seconds).expand());
     if writer.wants_json() {
-        writer.sweep_json("fig18_19_competition", &report)?;
+        writer.sweep_json(fig.name, &report)?;
         writer.timing(&report);
         return Ok(());
     }
-
-    let mut table = TextTable::new(&[
-        "scheme",
-        "avg tput (Mbit/s)",
-        "avg delay (ms)",
-        "p95 delay (ms)",
-    ]);
-    for outcome in report.by_label(LABEL) {
-        let s = &outcome.result.flows[0].summary;
-        table.row(&[
-            outcome.spec.scheme.to_string(),
-            format!("{:.1}", s.avg_throughput_mbps),
-            format!("{:.0}", s.avg_delay_ms),
-            format!("{:.0}", s.p95_delay_ms),
-        ]);
-    }
-    writer.table("fig18_schemes", "Fig18: all schemes", &table)?;
-
-    let pbe = &report.outcome(LABEL, "PBE").expect("PBE ran").result;
-    let bbr = &report.outcome(LABEL, "BBR").expect("BBR ran").result;
-    let mut t = TextTable::new(&[
-        "t (s)",
-        "competitor",
-        "PBE tput",
-        "PBE delay",
-        "BBR tput",
-        "BBR delay",
-    ]);
-    let windows = pbe.flows[0].throughput_timeline_mbps.len();
-    for w in (0..windows).step_by(2) {
-        let time_s = w as f64 * 0.1;
-        let competitor_on =
-            ((time_s as u64).saturating_sub(4) / 4).is_multiple_of(2) && time_s >= 4.0;
-        let cell = |r: &SimResult| {
-            let f = &r.flows[0];
-            (
-                f.throughput_timeline_mbps[w],
-                f.delay_timeline_ms[w].unwrap_or(0.0),
-            )
-        };
-        let (pt, pd) = cell(pbe);
-        let (bt, bd) = cell(bbr);
-        t.row(&[
-            format!("{time_s:.1}"),
-            if competitor_on {
-                "on".into()
-            } else {
-                "".into()
-            },
-            format!("{pt:.1}"),
-            format!("{pd:.0}"),
-            format!("{bt:.1}"),
-            format!("{bd:.0}"),
-        ]);
-    }
-    writer.table(
-        "fig19_timeline",
-        "Fig19: 200 ms-granularity timeline (competitor on during shaded intervals)",
-        &t,
-    )?;
+    (fig.render)(&report, seconds, &writer)?;
     writer.timing(&report);
-    writer.note(
-        "\nPaper reference: PBE-CC ~57 Mbit/s with 61/71 ms avg/p95 delay; BBR slightly more",
-    );
-    writer.note("throughput but 147/227 ms delay; CUBIC and Verus 250-400+ ms delay.");
     Ok(())
 }

@@ -2,88 +2,30 @@
 //! servers.  PBE-CC divides the estimated wireless capacity evenly between
 //! its own flows; other schemes can end up badly unbalanced.
 //!
-//! Both flows take the sweep's scheme axis, so the 1 × 8 grid runs through
-//! the parallel sweep harness like every other comparison figure.
+//! The 1 × 8 grid (both flows take the scheme axis) and the table renderer
+//! live in the artifact figure registry (`pbe_bench::artifact`), shared with
+//! `pbe-bench artifact`; this binary is the standalone, always-fresh way to
+//! run the same figure.
 
-use pbe_bench::scenarios::paper_schemes;
-use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
-use pbe_bench::TextTable;
-use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellId, UeConfig, UeId};
-use pbe_cellular::traffic::CellLoadProfile;
-use pbe_netsim::{FlowConfig, SchemeChoice};
-use pbe_stats::time::Duration;
-
-const LABEL: &str = "Fig20 two connections";
-
-fn multi_connection_scenario(seconds: u64) -> ScenarioSpec {
-    let ue = UeId(1);
-    let duration = Duration::from_secs(seconds);
-    ScenarioSpec::new(LABEL, SchemeChoice::Pbe, duration)
-        .load(CellLoadProfile::idle())
-        .seed(20)
-        .ue(
-            UeConfig::new(ue, vec![CellId(0), CellId(1)], 2, -87.0),
-            MobilityTrace::stationary(-87.0),
-        )
-        .flow(
-            FlowConfig::bulk(1, ue, SchemeChoice::Pbe, duration)
-                .with_one_way_delay(Duration::from_millis(24)),
-        )
-        .flow(
-            FlowConfig::bulk(2, ue, SchemeChoice::Pbe, duration)
-                .with_one_way_delay(Duration::from_millis(32)),
-        )
-}
+use pbe_bench::artifact;
+use pbe_bench::sweep::SweepArgs;
 
 fn main() -> std::io::Result<()> {
+    let fig = artifact::find("fig20_multi_connection").expect("registered figure");
     let args = SweepArgs::parse();
-    let seconds = args.seconds_or(12);
+    let seconds = args.seconds_or(fig.default_seconds);
     let writer = args.writer()?;
     writer.note(&format!(
         "Figure 20 reproduction: two concurrent flows from one device to two servers ({seconds} s)\n"
     ));
 
-    let grid = SweepGrid::over(vec![multi_connection_scenario(seconds)])
-        .schemes(paper_schemes().into_iter().map(|(s, _)| s));
-    let report = args.runner().run(grid.expand());
-
+    let report = args.runner().run((fig.grid)(seconds).expand());
     if writer.wants_json() {
-        writer.sweep_json("fig20_multi_connection", &report)?;
+        writer.sweep_json(fig.name, &report)?;
         writer.timing(&report);
         return Ok(());
     }
-
-    let mut table = TextTable::new(&[
-        "scheme",
-        "flow1 tput",
-        "flow2 tput",
-        "flow1 med delay",
-        "flow2 med delay",
-        "tput ratio",
-    ]);
-    for outcome in report.by_label(LABEL) {
-        let a = &outcome.result.flows[0].summary;
-        let b = &outcome.result.flows[1].summary;
-        let ratio = if b.avg_throughput_mbps > 0.0 {
-            a.avg_throughput_mbps / b.avg_throughput_mbps
-        } else {
-            f64::INFINITY
-        };
-        table.row(&[
-            outcome.spec.scheme.to_string(),
-            format!("{:.1}", a.avg_throughput_mbps),
-            format!("{:.1}", b.avg_throughput_mbps),
-            format!("{:.0}", a.delay_percentiles_ms[2]),
-            format!("{:.0}", b.delay_percentiles_ms[2]),
-            format!("{ratio:.2}"),
-        ]);
-    }
-    writer.table("fig20_two_connections", "Fig20: all schemes", &table)?;
+    (fig.render)(&report, seconds, &writer)?;
     writer.timing(&report);
-    writer.note(
-        "\nPaper reference: PBE-CC gives both flows similar throughput (26 / 28 Mbit/s, median",
-    );
-    writer.note("delays 48 / 56 ms); BBR splits 10 / 35 Mbit/s between its two flows.");
     Ok(())
 }

@@ -7,150 +7,30 @@
 //! binary prints the per-second PRB allocation of the primary cell and
 //! Jain's fairness index for the two- and three-flow periods.
 //!
-//! Each case is one [`ScenarioSpec`] whose flows keep their own schemes (the
-//! mixed-scheme cases have no single "scheme under test"), and the four
-//! cases run as one parallel sweep.  The PRB timeline comes straight from
-//! [`SimResult::primary_prb_timeline`](pbe_netsim::SimResult) — the built-in
-//! metrics observer derives it from the same `SubframeScheduled` event
-//! stream the binary's bespoke observer used to tap.
+//! The four fixed-cast scenarios (each case keeps its own schemes — there is
+//! no scheme axis) and the PRB-timeline renderer live in the artifact figure
+//! registry (`pbe_bench::artifact`), shared with `pbe-bench artifact`; this
+//! binary is the standalone, always-fresh way to run the same figure.
 
-use pbe_bench::sweep::{ScenarioSpec, SweepArgs, SweepGrid};
-use pbe_bench::TextTable;
-use pbe_cc_algorithms::api::SchemeName;
-use pbe_cellular::channel::MobilityTrace;
-use pbe_cellular::config::{CellId, UeConfig, UeId};
-use pbe_netsim::{FlowConfig, PrbInterval, SchemeChoice};
-use pbe_stats::jain::jain_index;
-use pbe_stats::time::{Duration, Instant};
-
-struct Case {
-    label: &'static str,
-    schemes: [SchemeChoice; 3],
-    delays_ms: [u64; 3],
-}
-
-fn case_scenario(case: &Case, total_s: u64) -> ScenarioSpec {
-    let duration = Duration::from_secs(total_s);
-    // Start/stop pattern scaled from the paper's 60 s to `total_s`.
-    let scale = total_s as f64 / 60.0;
-    let starts = [0.0, 10.0 * scale, 20.0 * scale];
-    let stops = [60.0 * scale, 50.0 * scale, 40.0 * scale];
-    let ues = [UeId(1), UeId(2), UeId(3)];
-
-    let mut spec = ScenarioSpec::new(case.label, SchemeChoice::Pbe, duration).seed(21);
-    for ue in ues {
-        spec = spec.ue(
-            UeConfig::new(ue, vec![CellId(0)], 1, -86.0),
-            MobilityTrace::stationary(-86.0),
-        );
-    }
-    for i in 0..3 {
-        // Every flow keeps its configured scheme: these are fixed-cast
-        // scenarios, not points on a scheme axis.
-        spec = spec.background_flow(
-            FlowConfig::bulk(i as u32 + 1, ues[i], case.schemes[i].clone(), duration)
-                .with_one_way_delay(Duration::from_millis(case.delays_ms[i]))
-                .with_lifetime(
-                    Instant::from_millis((starts[i] * 1000.0) as u64),
-                    Instant::from_millis((stops[i] * 1000.0) as u64),
-                ),
-        );
-    }
-    spec
-}
+use pbe_bench::artifact;
+use pbe_bench::sweep::SweepArgs;
 
 fn main() -> std::io::Result<()> {
+    let fig = artifact::find("fig21_fairness").expect("registered figure");
     let args = SweepArgs::parse();
-    let total_s = args.seconds_or(18);
+    let seconds = args.seconds_or(fig.default_seconds);
     let writer = args.writer()?;
-    let pbe = SchemeChoice::Pbe;
-    let bbr = SchemeChoice::Baseline(SchemeName::Bbr);
-    let cubic = SchemeChoice::Baseline(SchemeName::Cubic);
-    let cases = [
-        Case {
-            label: "(a) three PBE flows, similar RTTs",
-            schemes: [pbe.clone(), pbe.clone(), pbe.clone()],
-            delays_ms: [24, 26, 28],
-        },
-        Case {
-            label: "(b) three PBE flows, RTTs 52/64/297 ms",
-            schemes: [pbe.clone(), pbe.clone(), pbe.clone()],
-            delays_ms: [26, 32, 148],
-        },
-        Case {
-            label: "(c) two PBE flows + one BBR flow",
-            schemes: [pbe.clone(), bbr, pbe.clone()],
-            delays_ms: [24, 26, 28],
-        },
-        Case {
-            label: "(d) two PBE flows + one CUBIC flow",
-            schemes: [pbe.clone(), cubic, pbe.clone()],
-            delays_ms: [24, 26, 28],
-        },
-    ];
     writer.note(&format!(
-        "Figure 21 reproduction (flow lifetimes scaled from 60 s to {total_s} s)\n"
+        "Figure 21 reproduction (flow lifetimes scaled from 60 s to {seconds} s)\n"
     ));
 
-    let grid = SweepGrid::over(
-        cases
-            .iter()
-            .map(|case| case_scenario(case, total_s))
-            .collect(),
-    );
-    let report = args.runner().run(grid.expand());
-
+    let report = args.runner().run((fig.grid)(seconds).expand());
     if writer.wants_json() {
-        writer.sweep_json("fig21_fairness", &report)?;
+        writer.sweep_json(fig.name, &report)?;
         writer.timing(&report);
         return Ok(());
     }
-
-    for (case_index, outcome) in report.outcomes.iter().enumerate() {
-        let intervals: &[PrbInterval] = &outcome.result.primary_prb_timeline;
-        let mut table = TextTable::new(&["t (s)", "flow1 PRBs", "flow2 PRBs", "flow3 PRBs"]);
-        for interval in intervals.iter().step_by(10) {
-            table.row(&[
-                format!("{:.0}", interval.start_s),
-                format!("{:.0}", interval.prbs_for(1)),
-                format!("{:.0}", interval.prbs_for(2)),
-                format!("{:.0}", interval.prbs_for(3)),
-            ]);
-        }
-        writer.table(
-            &format!("fig21_case_{case_index}"),
-            &outcome.spec.label,
-            &table,
-        )?;
-
-        // Jain's index over the window where all three flows are active
-        // (scaled 20-40 s window) and where exactly two are active (10-20 s).
-        let scale = total_s as f64 / 60.0;
-        let jain_over = |lo_s: f64, hi_s: f64, flows: &[u32]| {
-            let totals: Vec<f64> = flows
-                .iter()
-                .map(|id| {
-                    intervals
-                        .iter()
-                        .filter(|iv| iv.start_s >= lo_s && iv.start_s < hi_s)
-                        .map(|iv| iv.prbs_for(*id))
-                        .sum()
-                })
-                .collect();
-            jain_index(&totals)
-        };
-        let two = jain_over(10.0 * scale, 20.0 * scale, &[1, 2]);
-        let three = jain_over(20.0 * scale, 40.0 * scale, &[1, 2, 3]);
-        writer.note(&format!(
-            "Jain's index: two concurrent flows {:.2}%, three concurrent flows {:.2}%\n",
-            two * 100.0,
-            three * 100.0
-        ));
-    }
+    (fig.render)(&report, seconds, &writer)?;
     writer.timing(&report);
-    writer.note(
-        "\nPaper reference: Jain's index 98.3-99.97% in every case; the base station's fairness",
-    );
-    writer.note("policy keeps CUBIC/BBR from starving the PBE-CC flows.");
     Ok(())
 }

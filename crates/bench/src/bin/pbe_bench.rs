@@ -3,6 +3,9 @@
 //! ```text
 //! pbe-bench perf [--check] [--bless] [--tolerance 0.15] [--iterations 5]
 //!                [--baseline-dir DIR] [--out-dir DIR] [--case NAME]...
+//! pbe-bench artifact (--all | --figure NAME)... [--list] [--store DIR]
+//!                    [--out DIR] [--seconds N] [--workers N] [--serial]
+//!                    [--format text|csv|json]
 //! ```
 //!
 //! `perf` runs the deterministic wall-clock cases (`many_ue`, `city_scale`,
@@ -12,7 +15,14 @@
 //! `BENCH_<name>.json` in `--baseline-dir` and exits 1 if any case regressed
 //! past the tolerance (or its baseline is missing/stale).  With `--bless`
 //! it rewrites the baselines in `--baseline-dir` instead.
+//!
+//! `artifact` reproduces the registered evaluation figures in one command.
+//! With `--store DIR` every executed grid point is persisted under its
+//! content key and a re-run executes only the points whose key is missing —
+//! so `pbe-bench artifact --all --store results/ --out figures/` twice runs
+//! every simulation exactly once total.
 
+use pbe_bench::artifact::{self, ArtifactArgs};
 use pbe_bench::perf::{
     check, default_cases, delta_table, load_baseline, measure, write_record, CheckOutcome,
 };
@@ -20,7 +30,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: pbe-bench perf [--check] [--bless] [--tolerance FRAC] \
-[--iterations N] [--baseline-dir DIR] [--out-dir DIR] [--case NAME]...";
+[--iterations N] [--baseline-dir DIR] [--out-dir DIR] [--case NAME]...\n       \
+pbe-bench artifact (--all | --figure NAME)... [--list] [--store DIR] [--out DIR] \
+[--seconds N] [--workers N] [--serial] [--format text|csv|json]";
 
 struct PerfArgs {
     run_check: bool,
@@ -151,6 +163,19 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("perf") => match parse_perf_args(&args[1..]) {
             Ok(parsed) => run_perf(parsed),
+            Err(err) => {
+                eprintln!("pbe-bench: {err}\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("artifact") => match ArtifactArgs::parse(&args[1..]) {
+            Ok(parsed) => match artifact::run_artifact(&parsed) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(err) => {
+                    eprintln!("pbe-bench: artifact failed: {err}");
+                    ExitCode::FAILURE
+                }
+            },
             Err(err) => {
                 eprintln!("pbe-bench: {err}\n{USAGE}");
                 ExitCode::FAILURE

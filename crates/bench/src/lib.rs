@@ -13,14 +13,21 @@
 //! aggregated into a [`SweepReport`] and rendered by one shared
 //! text/CSV/JSON writer.  The stationary, mobility, competition,
 //! multi-connection and fairness figure binaries all run on it.
+//!
+//! On top of the sweep sits the [`artifact`] pipeline: a registry of every
+//! sweep-backed figure plus a content-addressed on-disk result store, so
+//! `pbe-bench artifact --all --store DIR` reproduces the whole evaluation
+//! and a re-run only executes the grid points whose content key is missing.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod perf;
 pub mod scenarios;
 pub mod sweep;
 pub mod table;
 
+pub use artifact::{ArtifactArgs, ArtifactSummary, FigureSpec, ResultStore};
 pub use scenarios::{Location, LocationKind, ScenarioLibrary};
 pub use sweep::{CityScale, ScenarioSpec, SweepGrid, SweepReport, SweepRunner};
 pub use table::TextTable;

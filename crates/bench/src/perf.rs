@@ -189,15 +189,10 @@ pub fn fanout_config() -> SimConfig {
 }
 
 /// FNV-1a over the debug rendering of the config: cheap, deterministic,
-/// and sensitive to every scenario parameter.
+/// and sensitive to every scenario parameter.  The hash itself lives in
+/// [`pbe_stats::hash`], shared with the artifact result store's point keys.
 pub fn config_hash(cfg: &SimConfig) -> String {
-    let text = format!("{cfg:?}");
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in text.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{hash:016x}")
+    pbe_stats::fnv1a_64_hex(format!("{cfg:?}").as_bytes())
 }
 
 /// Peak resident set size of this process, kilobytes (`VmHWM`), or 0.

@@ -14,8 +14,41 @@ pub struct ScenarioOutcome {
     pub spec: ScenarioSpec,
     /// The simulator's full result for that scenario.
     pub result: SimResult,
-    /// Wall-clock milliseconds this scenario spent on its worker.
+    /// Wall-clock milliseconds this scenario spent on its worker (0 when the
+    /// outcome was served from an artifact result store).
     pub wall_ms: f64,
+    /// The spec's [content key](ScenarioSpec::content_key) — the address of
+    /// this point in an artifact result store, so report rows and store
+    /// entries join without re-expanding the grid.  Serde-defaulted: report
+    /// JSON written before the artifact pipeline loads with an empty key.
+    #[serde(default)]
+    pub key: String,
+    /// The scheme label (`spec.scheme.id()`), duplicated at top level so
+    /// report consumers need not interpret the spec.  Serde-defaulted.
+    #[serde(default)]
+    pub scheme: String,
+    /// The expanded experiment seed, duplicated from the spec.
+    /// Serde-defaulted.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+impl ScenarioOutcome {
+    /// Assemble an outcome, deriving the content key and scheme/seed labels
+    /// from the spec.
+    pub fn new(spec: ScenarioSpec, result: SimResult, wall_ms: f64) -> Self {
+        let key = spec.content_key();
+        let scheme = spec.scheme.id().to_string();
+        let seed = spec.seed;
+        ScenarioOutcome {
+            spec,
+            result,
+            wall_ms,
+            key,
+            scheme,
+            seed,
+        }
+    }
 }
 
 /// Aggregated outcome of a sweep: per-scenario results in grid order plus
@@ -149,11 +182,8 @@ impl SweepRunner {
             let spec = specs[i].clone();
             let scenario_started = Instant::now();
             let result = Simulation::new(spec.sim_config()).run();
-            ScenarioOutcome {
-                spec,
-                result,
-                wall_ms: scenario_started.elapsed().as_secs_f64() * 1000.0,
-            }
+            let wall_ms = scenario_started.elapsed().as_secs_f64() * 1000.0;
+            ScenarioOutcome::new(spec, result, wall_ms)
         });
         let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
         let busy_ms = outcomes.iter().map(|o| o.wall_ms).sum();

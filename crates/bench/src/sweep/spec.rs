@@ -9,7 +9,7 @@ use pbe_netsim::{
 };
 use pbe_stats::rng::derive_seed;
 use pbe_stats::time::Duration;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// One fully specified point of an evaluation grid.
 ///
@@ -190,6 +190,73 @@ impl ScenarioSpec {
     pub fn run(&self) -> SimResult {
         Simulation::new(self.sim_config()).run()
     }
+
+    /// The stable content key addressing this spec in the artifact result
+    /// store: a 128-bit FNV-1a over the [canonical](canonical_json)
+    /// serialization.  Two specs share a key exactly when they describe the
+    /// same experiment, however their JSON was spelled (field order, explicit
+    /// serde defaults) and whichever release wrote it (fields later added
+    /// with `#[serde(default)]` do not disturb old keys while they stay at
+    /// their default).
+    pub fn content_key(&self) -> String {
+        content_key_of_value(&serde_json::to_value(self).expect("spec serializes"))
+    }
+
+    /// The canonical serialization [`ScenarioSpec::content_key`] hashes —
+    /// exposed so golden tests can pin the exact hash input.
+    pub fn canonical_json(&self) -> String {
+        canonical_json(&serde_json::to_value(self).expect("spec serializes"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------------
+
+/// Canonicalize a serialized value tree for content hashing.
+///
+/// Two rules, applied recursively:
+///
+/// 1. **Object entries sort by key**, so the hash is independent of struct
+///    field declaration order and of the order a JSON file spelled them in.
+/// 2. **Entries whose canonical value is `null`, `[]` or `{}` are dropped.**
+///    Serde-defaulted optional fields (`shards: None`, `backhaul: None`,
+///    `trajectories: []`) hash identically whether they are written out or
+///    omitted — and a field added in a later release does not change the key
+///    of any already-stored point that leaves it at its default.
+pub fn canonical_value(v: &Value) -> Value {
+    match v {
+        Value::Array(items) => Value::Array(items.iter().map(canonical_value).collect()),
+        Value::Object(entries) => {
+            let mut canon: Vec<(String, Value)> = entries
+                .iter()
+                .map(|(k, val)| (k.clone(), canonical_value(val)))
+                .filter(|(_, val)| match val {
+                    Value::Null => false,
+                    Value::Array(items) => !items.is_empty(),
+                    Value::Object(fields) => !fields.is_empty(),
+                    _ => true,
+                })
+                .collect();
+            canon.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(canon)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Render a value tree in canonical form (see [`canonical_value`]) as
+/// compact JSON — the exact byte string the content key hashes.
+pub fn canonical_json(v: &Value) -> String {
+    serde_json::to_string(&canonical_value(v)).expect("canonical value renders")
+}
+
+/// Content key of an already-serialized value tree: 128-bit FNV-1a over the
+/// canonical JSON, as 32 hex digits.  Parsing a stored spec's JSON and
+/// hashing the parsed tree gives the same key the live
+/// [`ScenarioSpec::content_key`] computes.
+pub fn content_key_of_value(v: &Value) -> String {
+    pbe_stats::fnv1a_128_hex(canonical_json(v).as_bytes())
 }
 
 /// A set of base scenarios crossed with a scheme axis and a seed axis.
@@ -356,6 +423,37 @@ mod tests {
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].scheme, SchemeChoice::named("Copa"));
         assert_eq!(points[0].seed, 5);
+    }
+
+    #[test]
+    fn canonical_form_sorts_keys_and_drops_defaults() {
+        let v = serde_json::parse(
+            r#"{"zeta":1,"alpha":{"b":null,"a":2},"empty":[],"none":null,"nested":[{"y":[],"x":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            canonical_json(&v),
+            r#"{"alpha":{"a":2},"nested":[{"x":1}],"zeta":1}"#
+        );
+    }
+
+    #[test]
+    fn content_key_elides_defaulted_fields_and_ignores_order() {
+        let duration = Duration::from_secs(1);
+        let spec = ScenarioSpec::single_flow("key", SchemeChoice::Pbe, duration).seed(9);
+        // The struct serializer writes `shards`/`backhaul` as null and
+        // `trajectories` as []; the canonical form must not contain them.
+        let canon = spec.canonical_json();
+        assert!(!canon.contains("shards"));
+        assert!(!canon.contains("backhaul"));
+        assert!(!canon.contains("trajectories"));
+        // Hashing the parsed JSON (any spelling) matches the live key.
+        let text = serde_json::to_string(&spec).unwrap();
+        let parsed = serde_json::parse(&text).unwrap();
+        assert_eq!(content_key_of_value(&parsed), spec.content_key());
+        // A semantic change moves the key.
+        let other = ScenarioSpec::single_flow("key", SchemeChoice::Pbe, duration).seed(10);
+        assert_ne!(other.content_key(), spec.content_key());
     }
 
     #[test]

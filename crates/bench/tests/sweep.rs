@@ -1,6 +1,7 @@
 //! Sweep-harness regression tests: parallel determinism (including across
-//! handovers) and exact grid expansion.
+//! handovers), exact grid expansion, and store-served cache equivalence.
 
+use pbe_bench::artifact::{run_cached, ResultStore};
 use pbe_bench::scenarios::ScenarioLibrary;
 use pbe_bench::sweep::{CityScale, ScenarioSpec, SweepGrid, SweepRunner};
 use pbe_cellular::channel::MobilityTrace;
@@ -113,6 +114,54 @@ fn handover_sweep_is_byte_identical_between_serial_and_four_workers() {
     let ho = crossing.result.handovers[0];
     assert_eq!(ho.from, CellId(0));
     assert_eq!(ho.to, CellId(1));
+}
+
+/// Cache equivalence on a sampled sub-grid: results served from a warm
+/// artifact store are byte-identical to a fresh serial run *and* to a fresh
+/// 4-worker run.  The sub-grid is a deterministic sample of the stationary
+/// grid (every point whose seed-derived coin lands heads, floor 4 points),
+/// so the test exercises an irregular point set rather than a full cross
+/// product.
+#[test]
+fn store_served_results_are_byte_identical_to_fresh_runs() {
+    let all = stationary_grid().expand();
+    let mut specs: Vec<ScenarioSpec> = all
+        .iter()
+        .filter(|s| derive_seed(s.seed, 97).is_multiple_of(2))
+        .cloned()
+        .collect();
+    for spec in all {
+        if specs.len() >= 4 {
+            break;
+        }
+        if !specs.iter().any(|s| s.content_key() == spec.content_key()) {
+            specs.push(spec);
+        }
+    }
+    assert!(specs.len() >= 4, "sampled sub-grid is non-trivial");
+
+    let fresh_serial = SweepRunner::serial().run(specs.clone());
+    let fresh_parallel = SweepRunner::new().workers(4).run(specs.clone());
+
+    let dir = std::env::temp_dir().join(format!("pbe_cache_equiv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ResultStore::open(&dir).unwrap();
+    let warmup = run_cached("cache_equiv", specs.clone(), Some(&mut store), 2).unwrap();
+    assert_eq!(warmup.executed, specs.len());
+    let served = run_cached("cache_equiv", specs, Some(&mut store), 2).unwrap();
+    assert_eq!(served.executed, 0, "a warm store serves every point");
+
+    assert_eq!(
+        served.report.deterministic_json(),
+        fresh_serial.deterministic_json(),
+        "store-served results must be byte-identical to a fresh serial run"
+    );
+    assert_eq!(
+        served.report.deterministic_json(),
+        fresh_parallel.deterministic_json(),
+        "store-served results must be byte-identical to a fresh 4-worker run"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Replica 0 of a location keeps the location's own seed, so sweep results

@@ -7,9 +7,11 @@
 //! shape (externally tagged enums, newtype ids as bare numbers) must load
 //! into today's types, and today's types must round-trip.
 
+use pbe_bench::sweep::{ScenarioSpec, SweepGrid, SweepReport, SweepRunner};
 use pbe_cc_algorithms::api::SchemeName;
 use pbe_netsim::{AppModel, FlowConfig, SchemeChoice, SimConfig, Simulation};
 use pbe_stats::time::{Duration, Instant};
+use serde::Value;
 
 /// A `FlowConfig` captured from the pre-redesign serializer (scheme as the
 /// externally tagged `{"Baseline": "Bbr"}` form, `u64::MAX` queue limit).
@@ -168,6 +170,80 @@ fn no_backhaul_config_reproduces_the_pre_backhaul_engine_byte_for_byte() {
         result.backhaul_links.is_empty(),
         "no backhaul configured, no backhaul telemetry"
     );
+}
+
+#[test]
+fn pre_artifact_sweep_report_json_still_loads() {
+    // PR 9 gave every `ScenarioOutcome` a content `key` plus top-level
+    // `scheme`/`seed` labels, all serde-defaulted.  Report JSON written
+    // before then has none of those fields; it must keep parsing, with the
+    // new fields at their defaults.
+    let grid = SweepGrid::over(vec![ScenarioSpec::single_flow(
+        "compat",
+        SchemeChoice::Pbe,
+        Duration::from_millis(200),
+    )
+    .seed(5)])
+    .schemes([SchemeChoice::Pbe, SchemeChoice::named("CUBIC")]);
+    let report = SweepRunner::serial().run(grid.expand());
+
+    // Today's serializer writes the new fields…
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"key\":"));
+    let roundtripped: SweepReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(roundtripped.outcomes[0].key, report.outcomes[0].key);
+
+    // …so strip them from every outcome to reconstruct the old wire shape.
+    let value = serde_json::parse(&json).unwrap();
+    let Value::Object(top) = &value else {
+        panic!("report serializes as an object")
+    };
+    let pre_artifact = Value::Object(
+        top.iter()
+            .map(|(k, v)| {
+                if k != "outcomes" {
+                    return (k.clone(), v.clone());
+                }
+                let Value::Array(outcomes) = v else {
+                    panic!("outcomes serialize as an array")
+                };
+                let stripped = outcomes
+                    .iter()
+                    .map(|o| {
+                        let Value::Object(fields) = o else {
+                            panic!("outcome serializes as an object")
+                        };
+                        Value::Object(
+                            fields
+                                .iter()
+                                .filter(|(name, _)| {
+                                    name != "key" && name != "scheme" && name != "seed"
+                                })
+                                .cloned()
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                (k.clone(), Value::Array(stripped))
+            })
+            .collect(),
+    );
+    let old_json = serde_json::to_string(&pre_artifact).unwrap();
+    assert_ne!(old_json, json, "strip actually removed the new fields");
+
+    let parsed: SweepReport = serde_json::from_str(&old_json).unwrap();
+    assert_eq!(parsed.outcomes.len(), report.outcomes.len());
+    for (old, new) in parsed.outcomes.iter().zip(&report.outcomes) {
+        assert_eq!(old.key, "", "missing key defaults to empty");
+        assert_eq!(old.scheme, "", "missing scheme label defaults to empty");
+        assert_eq!(old.seed, 0, "missing seed label defaults to zero");
+        // The science is untouched: spec and result survive the round trip.
+        assert_eq!(
+            serde_json::to_string(&old.result).unwrap(),
+            serde_json::to_string(&new.result).unwrap()
+        );
+        assert_eq!(old.spec.content_key(), new.spec.content_key());
+    }
 }
 
 #[test]
