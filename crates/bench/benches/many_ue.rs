@@ -37,6 +37,7 @@ fn many_ue_config(ues: u32, duration: Duration) -> SimConfig {
         trajectories: Vec::new(),
         shards: None,
         backhaul: None,
+        faults: None,
     }
 }
 

@@ -12,27 +12,61 @@
 //! would produce — and the cache-equivalence tests in
 //! `crates/bench/tests/artifact.rs` pin that.
 
-use super::store::{ResultStore, StoredPoint};
+use super::store::{FailureKind, PointFailure, ResultStore, StoredPoint};
 use crate::sweep::{ScenarioOutcome, ScenarioSpec, SweepReport};
 use pbe_netsim::Simulation;
-use pbe_stats::pool::run_indexed;
+use pbe_stats::pool::{panic_message, run_indexed_partial};
 use std::io;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Failure-containment policy for grid execution.
+///
+/// The default policy is fully permissive — no deadline, no retries — which
+/// still contains panics (a panicking scenario becomes a [`PointFailure`],
+/// never a crashed sweep).
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Wall-clock budget per scenario *attempt*.  A scenario still running
+    /// at the deadline counts as failed ([`FailureKind::Deadline`]); its
+    /// thread is abandoned, not joined.  `None` means unbounded.
+    pub deadline: Option<Duration>,
+    /// Extra attempts after the first failure (0 = fail immediately).
+    pub retries: u32,
+    /// Base delay between attempts; attempt `n` waits `backoff * 2^(n-1)`.
+    pub backoff: Duration,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            deadline: None,
+            retries: 0,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
 
 /// Outcome of a cached run: the assembled report plus the cache accounting
 /// the smoke tests and CI assert on.
 #[derive(Debug)]
 pub struct CachedRun {
     /// Per-point outcomes in grid order, exactly as a fresh sweep would
-    /// report them (cached points carry `wall_ms = 0`).
+    /// report them (cached points carry `wall_ms = 0`).  Failed points are
+    /// absent here and present in `failures`.
     pub report: SweepReport,
     /// Number of points that actually simulated in this invocation.
     pub executed: usize,
     /// Number of points served from the store.
     pub cached: usize,
+    /// Points that failed (panic or deadline) after exhausting the policy's
+    /// attempts, plus quarantined points skipped on resume — in grid order.
+    pub failures: Vec<PointFailure>,
 }
 
-/// Execute `specs`, serving store hits and persisting fresh results.
+/// Execute `specs`, serving store hits and persisting fresh results, under
+/// the default (permissive) [`ExecPolicy`].
 ///
 /// With `store = None` every point executes (a plain sweep).  `workers`
 /// follows [`SweepRunner`](crate::sweep::SweepRunner) semantics except that
@@ -41,8 +75,28 @@ pub struct CachedRun {
 pub fn run_cached(
     figure: &str,
     specs: Vec<ScenarioSpec>,
+    store: Option<&mut ResultStore>,
+    workers: usize,
+) -> io::Result<CachedRun> {
+    run_cached_with(figure, specs, store, workers, &ExecPolicy::default())
+}
+
+/// [`run_cached`] with an explicit failure-containment policy.
+///
+/// Execution is failure-contained end to end: a panicking scenario is caught
+/// and reported as a structured [`PointFailure`]; a scenario exceeding the
+/// policy's deadline is abandoned and reported likewise; failures retry per
+/// the policy (exponential backoff) before giving up.  Exhausted points are
+/// quarantined in the store, so a later resume skips-and-reports them
+/// instead of re-poisoning every invocation, and **every other point still
+/// executes exactly once** — one poison point costs its own slot, never the
+/// sweep.
+pub fn run_cached_with(
+    figure: &str,
+    specs: Vec<ScenarioSpec>,
     mut store: Option<&mut ResultStore>,
     workers: usize,
+    policy: &ExecPolicy,
 ) -> io::Result<CachedRun> {
     let workers = if workers == 0 {
         std::thread::available_parallelism()
@@ -54,52 +108,98 @@ pub fn run_cached(
     let started = Instant::now();
     let keys: Vec<String> = specs.iter().map(ScenarioSpec::content_key).collect();
 
-    // Phase 1: serve every present point from the store.
+    // Phase 1: serve every present point from the store; skip-and-report
+    // quarantined keys; everything else is a miss.
     let mut slots: Vec<Option<ScenarioOutcome>> = (0..specs.len()).map(|_| None).collect();
+    let mut failures: Vec<(usize, PointFailure)> = Vec::new();
     let mut misses: Vec<usize> = Vec::new();
     for (i, key) in keys.iter().enumerate() {
         let hit = store
             .as_deref()
             .and_then(|s| s.get(key))
             .map(|p| ScenarioOutcome::new(p.spec, p.result, 0.0));
-        match hit {
-            Some(outcome) => slots[i] = Some(outcome),
-            None => misses.push(i),
+        if let Some(outcome) = hit {
+            slots[i] = Some(outcome);
+            continue;
         }
+        if let Some(poison) = store.as_deref().and_then(|s| s.quarantine_entry(key)) {
+            failures.push((i, poison.clone()));
+            continue;
+        }
+        misses.push(i);
     }
-    let cached = specs.len() - misses.len();
-    let executed = misses.len();
+    let cached = specs.len() - misses.len() - failures.len();
 
     // Phase 2: execute the misses in small batches, persisting after each
-    // batch so a kill loses at most one batch of work.
+    // batch so a kill loses at most one batch of work.  Each point runs
+    // guarded (catch_unwind + deadline watchdog + retries); the pool-level
+    // panic containment is a second line of defense for harness bugs.
+    let mut executed = 0usize;
     let batch = (workers * 2).max(4);
     for batch_indices in misses.chunks(batch) {
-        let outcomes = run_indexed(batch_indices.len(), workers, |j| {
-            let spec = specs[batch_indices[j]].clone();
-            let point_started = Instant::now();
-            let result = Simulation::new(spec.sim_config()).run();
-            let wall_ms = point_started.elapsed().as_secs_f64() * 1000.0;
-            ScenarioOutcome::new(spec, result, wall_ms)
+        let (results, pool_panics) = run_indexed_partial(batch_indices.len(), workers, |j| {
+            execute_guarded(&specs[batch_indices[j]], policy)
         });
-        for (j, outcome) in outcomes.into_iter().enumerate() {
+        for (j, slot) in results.into_iter().enumerate() {
+            let i = batch_indices[j];
+            let spec = &specs[i];
+            let failed = match slot {
+                Some(Ok(outcome)) => {
+                    if let Some(store) = store.as_deref_mut() {
+                        store.insert(
+                            figure,
+                            &StoredPoint {
+                                key: outcome.key.clone(),
+                                spec: outcome.spec.clone(),
+                                result: outcome.result.clone(),
+                            },
+                        )?;
+                    }
+                    executed += 1;
+                    slots[i] = Some(outcome);
+                    continue;
+                }
+                Some(Err((kind, message, attempts))) => PointFailure {
+                    key: keys[i].clone(),
+                    figure: figure.to_string(),
+                    label: spec.label.clone(),
+                    scheme: spec.scheme.id().to_string(),
+                    seed: spec.seed,
+                    kind,
+                    message,
+                    attempts,
+                },
+                // The guarded job itself panicked (harness bug): the pool
+                // contained it; report it like a scenario panic.
+                None => {
+                    let panic = pool_panics
+                        .iter()
+                        .find(|p| p.index == j)
+                        .map(|p| p.message.clone())
+                        .unwrap_or_else(|| "job vanished without a panic record".to_string());
+                    PointFailure {
+                        key: keys[i].clone(),
+                        figure: figure.to_string(),
+                        label: spec.label.clone(),
+                        scheme: spec.scheme.id().to_string(),
+                        seed: spec.seed,
+                        kind: FailureKind::Panic,
+                        message: panic,
+                        attempts: 1,
+                    }
+                }
+            };
             if let Some(store) = store.as_deref_mut() {
-                store.insert(
-                    figure,
-                    &StoredPoint {
-                        key: outcome.key.clone(),
-                        spec: outcome.spec.clone(),
-                        result: outcome.result.clone(),
-                    },
-                )?;
+                store.quarantine(&failed)?;
             }
-            slots[batch_indices[j]] = Some(outcome);
+            failures.push((i, failed));
         }
     }
 
-    let outcomes: Vec<ScenarioOutcome> = slots
-        .into_iter()
-        .map(|slot| slot.expect("every grid point served or executed"))
-        .collect();
+    // Failed points lose exactly their own slot; the report keeps every
+    // surviving point in grid order.
+    failures.sort_by_key(|(i, _)| *i);
+    let outcomes: Vec<ScenarioOutcome> = slots.into_iter().flatten().collect();
     let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
     let busy_ms = outcomes.iter().map(|o| o.wall_ms).sum();
     Ok(CachedRun {
@@ -111,7 +211,72 @@ pub fn run_cached(
         },
         executed,
         cached,
+        failures: failures.into_iter().map(|(_, f)| f).collect(),
     })
+}
+
+/// Run one scenario under the policy: per-attempt panic containment and
+/// deadline watchdog, retries with exponential backoff.  Total — never
+/// panics, never blocks past `attempts * deadline` (plus backoff).
+fn execute_guarded(
+    spec: &ScenarioSpec,
+    policy: &ExecPolicy,
+) -> Result<ScenarioOutcome, (FailureKind, String, u32)> {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match attempt(spec, policy.deadline) {
+            Ok(outcome) => return Ok(outcome),
+            Err((kind, message)) => {
+                if attempts > policy.retries {
+                    return Err((kind, message, attempts));
+                }
+                std::thread::sleep(policy.backoff * 2u32.saturating_pow(attempts - 1));
+            }
+        }
+    }
+}
+
+/// One execution attempt.  Without a deadline the simulation runs on the
+/// calling (pool) thread under `catch_unwind`; with one it runs on a fresh
+/// watchdog thread, and on timeout the thread is *abandoned* — it finishes
+/// (or spins) in the background while the sweep moves on, which is the only
+/// containment available without killing threads.
+fn attempt(
+    spec: &ScenarioSpec,
+    deadline: Option<Duration>,
+) -> Result<ScenarioOutcome, (FailureKind, String)> {
+    match deadline {
+        None => catch_unwind(AssertUnwindSafe(|| execute_one(spec)))
+            .map_err(|payload| (FailureKind::Panic, panic_message(payload.as_ref()))),
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| execute_one(&spec)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                let _ = tx.send(outcome);
+            });
+            match rx.recv_timeout(limit) {
+                Ok(Ok(outcome)) => Ok(outcome),
+                Ok(Err(message)) => Err((FailureKind::Panic, message)),
+                Err(_) => Err((
+                    FailureKind::Deadline,
+                    format!(
+                        "still running after the {:.1} s deadline",
+                        limit.as_secs_f64()
+                    ),
+                )),
+            }
+        }
+    }
+}
+
+fn execute_one(spec: &ScenarioSpec) -> ScenarioOutcome {
+    let started = Instant::now();
+    let result = Simulation::new(spec.sim_config()).run();
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    ScenarioOutcome::new(spec.clone(), result, wall_ms)
 }
 
 #[cfg(test)]
@@ -140,6 +305,87 @@ mod tests {
         assert_eq!(run.executed, 2);
         assert_eq!(run.cached, 0);
         assert_eq!(run.report.deterministic_json(), plain.deterministic_json());
+    }
+
+    #[test]
+    fn a_panicking_and_a_hanging_point_fail_structured_while_the_rest_execute_once() {
+        let dir = std::env::temp_dir().join(format!("pbe_exec_chaos_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ResultStore::open(&dir).unwrap();
+        // Four points: two healthy schemes, one that panics mid-run, one
+        // that burns wall-clock past the deadline.
+        let specs = SweepGrid::over(vec![ScenarioSpec::single_flow(
+            "chaos",
+            SchemeChoice::Pbe,
+            Duration::from_millis(200),
+        )
+        .seed(23)])
+        .schemes([
+            SchemeChoice::Pbe,
+            SchemeChoice::named("CUBIC"),
+            SchemeChoice::named("CHAOS_PANIC"),
+            SchemeChoice::named("CHAOS_HANG"),
+        ])
+        .expand();
+        let policy = ExecPolicy {
+            deadline: Some(std::time::Duration::from_millis(300)),
+            retries: 0,
+            backoff: std::time::Duration::from_millis(1),
+        };
+        let run =
+            run_cached_with("fig_chaos", specs.clone(), Some(&mut store), 1, &policy).unwrap();
+
+        // Both chaos points fail with the right kind; the sweep completed.
+        assert_eq!(run.executed, 2, "the two healthy points executed");
+        assert_eq!(run.report.outcomes.len(), 2);
+        assert_eq!(run.failures.len(), 2);
+        let panic = run
+            .failures
+            .iter()
+            .find(|f| f.scheme == "CHAOS_PANIC")
+            .expect("panic failure recorded");
+        assert_eq!(panic.kind, FailureKind::Panic);
+        assert!(panic.message.contains("chaos: injected scheme panic"));
+        let hang = run
+            .failures
+            .iter()
+            .find(|f| f.scheme == "CHAOS_HANG")
+            .expect("deadline failure recorded");
+        assert_eq!(hang.kind, FailureKind::Deadline);
+        assert_eq!((panic.attempts, hang.attempts), (1, 1));
+        assert_eq!(store.len(), 2, "only healthy points persisted");
+
+        // Resume: quarantined points are skipped-and-reported, healthy ones
+        // served from the store — zero new executions.
+        let resumed = run_cached_with("fig_chaos", specs, Some(&mut store), 1, &policy).unwrap();
+        assert_eq!((resumed.executed, resumed.cached), (0, 2));
+        assert_eq!(resumed.failures.len(), 2, "quarantine reported on resume");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retries_are_counted_before_a_point_is_given_up() {
+        // CHAOS_PANIC panics deterministically, so every retry fails too;
+        // the failure must record all attempts.
+        let specs = SweepGrid::over(vec![ScenarioSpec::single_flow(
+            "retry",
+            SchemeChoice::named("CHAOS_PANIC"),
+            Duration::from_millis(150),
+        )
+        .seed(5)])
+        .expand();
+        let policy = ExecPolicy {
+            deadline: None,
+            retries: 2,
+            backoff: std::time::Duration::from_millis(1),
+        };
+        let run = run_cached_with("fig_retry", specs, None, 1, &policy).unwrap();
+        assert_eq!(run.failures.len(), 1);
+        assert_eq!(
+            run.failures[0].attempts, 3,
+            "initial attempt plus two retries"
+        );
+        assert_eq!(run.failures[0].kind, FailureKind::Panic);
     }
 
     #[test]

@@ -33,17 +33,21 @@ pub mod figures;
 pub mod registry;
 pub mod store;
 
-pub use exec::{run_cached, CachedRun};
+pub use exec::{run_cached, run_cached_with, CachedRun, ExecPolicy};
 pub use registry::{find, registry, FigureSpec};
-pub use store::{ManifestEntry, ResultStore, StoredPoint};
+pub use store::{FailureKind, ManifestEntry, PointFailure, ResultStore, StoreIssue, StoredPoint};
 
 use crate::sweep::{OutputFormat, ReportWriter};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Usage string of the `artifact` subcommand.
 pub const USAGE: &str = "usage: pbe-bench artifact (--all | --figure NAME)... [--list] \
-[--store DIR] [--out DIR] [--seconds N] [--workers N] [--serial] [--format text|csv|json]";
+[--store DIR] [--out DIR] [--seconds N] [--workers N] [--serial] [--format text|csv|json] \
+[--deadline SECS] [--retries N]\n\
+       pbe-bench artifact verify --store DIR [--repair] [--seconds N] [--workers N]";
 
 /// Parsed command line of `pbe-bench artifact`.
 #[derive(Debug, Clone)]
@@ -64,6 +68,16 @@ pub struct ArtifactArgs {
     pub workers: usize,
     /// Table output format (CSV by default — artifact output is plot input).
     pub format: OutputFormat,
+    /// Wall-clock deadline per scenario attempt, in seconds (unbounded when
+    /// absent).
+    pub deadline: Option<f64>,
+    /// Extra execution attempts after a scenario fails.
+    pub retries: u32,
+    /// `verify` subcommand: check every stored blob against its manifest
+    /// checksum instead of running figures.
+    pub verify: bool,
+    /// With `verify`: drop corrupted points and re-execute exactly them.
+    pub repair: bool,
 }
 
 impl ArtifactArgs {
@@ -78,8 +92,16 @@ impl ArtifactArgs {
             seconds: None,
             workers: 0,
             format: OutputFormat::Csv,
+            deadline: None,
+            retries: 0,
+            verify: false,
+            repair: false,
         };
         let mut it = args.iter();
+        if args.first().map(String::as_str) == Some("verify") {
+            parsed.verify = true;
+            it.next();
+        }
         while let Some(arg) = it.next() {
             let mut value_of = |name: &str| {
                 it.next()
@@ -105,6 +127,21 @@ impl ArtifactArgs {
                         .map_err(|_| "--workers expects a count".to_string())?
                 }
                 "--serial" => parsed.workers = 1,
+                "--repair" => parsed.repair = true,
+                "--deadline" => {
+                    parsed.deadline = Some(
+                        value_of("--deadline")?
+                            .parse()
+                            .ok()
+                            .filter(|s: &f64| *s > 0.0)
+                            .ok_or_else(|| "--deadline expects seconds > 0".to_string())?,
+                    )
+                }
+                "--retries" => {
+                    parsed.retries = value_of("--retries")?
+                        .parse()
+                        .map_err(|_| "--retries expects a count".to_string())?
+                }
                 "--format" | "-f" => {
                     parsed.format = match value_of("--format")?.as_str() {
                         "text" => OutputFormat::Text,
@@ -118,7 +155,13 @@ impl ArtifactArgs {
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
-        if !parsed.list && !parsed.all && parsed.figures.is_empty() {
+        if parsed.verify {
+            if parsed.store.is_none() {
+                return Err("artifact verify needs --store DIR".into());
+            }
+        } else if parsed.repair {
+            return Err("--repair only applies to `artifact verify`".into());
+        } else if !parsed.list && !parsed.all && parsed.figures.is_empty() {
             return Err("pick figures with --all or --figure NAME (or --list to see them)".into());
         }
         Ok(parsed)
@@ -159,6 +202,9 @@ pub struct ArtifactSummary {
     pub executed: usize,
     /// Grid points served from the result store.
     pub cached: usize,
+    /// Grid points that failed (panic/deadline) or were skipped as
+    /// quarantined; each is reported on stderr as a structured failure.
+    pub failed: usize,
 }
 
 /// Run the selected figures: expand, execute-or-serve, render.
@@ -167,6 +213,9 @@ pub struct ArtifactSummary {
 /// (stdout carries only report data, so two invocations with a warm store
 /// stay byte-identical).
 pub fn run_artifact(args: &ArtifactArgs) -> io::Result<ArtifactSummary> {
+    if args.verify {
+        return verify_store(args);
+    }
     let figures = args
         .selected()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
@@ -181,6 +230,7 @@ pub fn run_artifact(args: &ArtifactArgs) -> io::Result<ArtifactSummary> {
             figures: 0,
             executed: 0,
             cached: 0,
+            failed: 0,
         });
     }
 
@@ -188,20 +238,23 @@ pub fn run_artifact(args: &ArtifactArgs) -> io::Result<ArtifactSummary> {
         Some(dir) => Some(ResultStore::open(dir)?),
         None => None,
     };
+    let policy = exec_policy(args);
     let writer = ReportWriter::new(args.format, args.out.clone())?;
     let mut summary = ArtifactSummary {
         figures: 0,
         executed: 0,
         cached: 0,
+        failed: 0,
     };
     for fig in &figures {
         let seconds = args.seconds.unwrap_or(fig.default_seconds);
         let specs = (fig.grid)(seconds).expand();
-        let run = run_cached(fig.name, specs, store.as_mut(), args.workers)?;
+        let run = run_cached_with(fig.name, specs, store.as_mut(), args.workers, &policy)?;
         eprintln!(
             "artifact: {}: executed {} simulation(s), {} cache hit(s)",
             fig.name, run.executed, run.cached
         );
+        report_failures(&run.failures);
         if writer.wants_json() {
             writer.sweep_json(fig.name, &run.report)?;
         } else {
@@ -210,10 +263,132 @@ pub fn run_artifact(args: &ArtifactArgs) -> io::Result<ArtifactSummary> {
         summary.figures += 1;
         summary.executed += run.executed;
         summary.cached += run.cached;
+        summary.failed += run.failures.len();
     }
     eprintln!(
-        "artifact: executed {} simulation(s), {} cache hit(s) across {} figure(s)",
-        summary.executed, summary.cached, summary.figures
+        "artifact: executed {} simulation(s), {} cache hit(s), {} failure(s) across {} figure(s)",
+        summary.executed, summary.cached, summary.failed, summary.figures
+    );
+    Ok(summary)
+}
+
+/// Translate the command line into the executor's containment policy.
+fn exec_policy(args: &ArtifactArgs) -> ExecPolicy {
+    ExecPolicy {
+        deadline: args.deadline.map(Duration::from_secs_f64),
+        retries: args.retries,
+        ..ExecPolicy::default()
+    }
+}
+
+/// Print each point failure as one structured stderr line.
+fn report_failures(failures: &[PointFailure]) {
+    for f in failures {
+        eprintln!(
+            "artifact: FAILED {} [{}] scheme={} seed={} after {} attempt(s): {}: {}",
+            f.label, f.key, f.scheme, f.seed, f.attempts, f.kind, f.message
+        );
+    }
+}
+
+/// `pbe-bench artifact verify [--repair]`: check every stored blob against
+/// its manifest checksum.
+///
+/// Without `--repair` this is a health check: corrupted or truncated blobs
+/// are listed on stderr and the invocation fails, so CI can gate on store
+/// integrity.  With `--repair` each bad key is dropped and **exactly those
+/// keys** re-execute, by expanding the owning figure's grid and filtering it
+/// to the bad set — clean points are never touched (`executed` counts only
+/// the repairs).  Keys whose figure or spec no longer exists in the current
+/// grids are reported as stale and dropped without re-execution.
+fn verify_store(args: &ArtifactArgs) -> io::Result<ArtifactSummary> {
+    let dir = args.store.as_ref().expect("parse() requires --store");
+    let mut store = ResultStore::open(dir)?;
+    let issues = store.verify();
+    for issue in &issues {
+        eprintln!(
+            "artifact verify: BAD {} (figure {}): {}",
+            issue.key, issue.figure, issue.problem
+        );
+    }
+    if issues.is_empty() {
+        eprintln!(
+            "artifact verify: {} point(s), every blob clean",
+            store.len()
+        );
+        return Ok(ArtifactSummary {
+            figures: 0,
+            executed: 0,
+            cached: 0,
+            failed: 0,
+        });
+    }
+    if !args.repair {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{} corrupted point(s) in {} (re-run with --repair to re-execute exactly them)",
+                issues.len(),
+                dir.display()
+            ),
+        ));
+    }
+
+    let mut bad_by_figure: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for issue in &issues {
+        store.invalidate(&issue.key)?;
+        bad_by_figure
+            .entry(issue.figure.clone())
+            .or_default()
+            .insert(issue.key.clone());
+    }
+    let policy = exec_policy(args);
+    let mut summary = ArtifactSummary {
+        figures: 0,
+        executed: 0,
+        cached: 0,
+        failed: 0,
+    };
+    for (figure, bad_keys) in &bad_by_figure {
+        let Some(fig) = find(figure) else {
+            for key in bad_keys {
+                eprintln!(
+                    "artifact verify: stale key {key} belongs to unknown figure `{figure}`; \
+dropped without re-execution"
+                );
+            }
+            continue;
+        };
+        let seconds = args.seconds.unwrap_or(fig.default_seconds);
+        let specs: Vec<_> = (fig.grid)(seconds)
+            .expand()
+            .into_iter()
+            .filter(|s| bad_keys.contains(&s.content_key()))
+            .collect();
+        let matched: BTreeSet<String> = specs.iter().map(|s| s.content_key()).collect();
+        for key in bad_keys.difference(&matched) {
+            eprintln!(
+                "artifact verify: stale key {key} is not in {figure}'s current grid \
+(grid changed, or it ran with different --seconds); dropped without re-execution"
+            );
+        }
+        if specs.is_empty() {
+            continue;
+        }
+        let run = run_cached_with(fig.name, specs, Some(&mut store), args.workers, &policy)?;
+        report_failures(&run.failures);
+        eprintln!(
+            "artifact verify: {figure}: re-executed {} corrupted point(s)",
+            run.executed
+        );
+        summary.figures += 1;
+        summary.executed += run.executed;
+        summary.cached += run.cached;
+        summary.failed += run.failures.len();
+    }
+    eprintln!(
+        "artifact verify: repaired {} point(s) across {} figure(s), {} failure(s)",
+        summary.executed, summary.figures, summary.failed
     );
     Ok(summary)
 }
@@ -258,7 +433,7 @@ mod tests {
     #[test]
     fn all_selects_the_whole_registry_in_order() {
         let a = parse(&["--all"]).unwrap();
-        assert_eq!(a.selected().unwrap().len(), 5);
+        assert_eq!(a.selected().unwrap().len(), 6);
         assert_eq!(a.format, OutputFormat::Csv, "artifact defaults to CSV");
     }
 
@@ -268,5 +443,32 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         let a = parse(&["--figure", "fig99_nope"]).unwrap();
         assert!(a.selected().is_err());
+    }
+
+    #[test]
+    fn parses_the_verify_subcommand_and_the_containment_flags() {
+        let a = parse(&[
+            "verify",
+            "--store",
+            "/tmp/s",
+            "--repair",
+            "--deadline",
+            "2.5",
+            "--retries",
+            "3",
+        ])
+        .unwrap();
+        assert!(a.verify);
+        assert!(a.repair);
+        assert_eq!(a.deadline, Some(2.5));
+        assert_eq!(a.retries, 3);
+        // verify needs a store; --repair belongs to verify alone.
+        assert!(parse(&["verify"]).is_err());
+        assert!(parse(&["--all", "--store", "/tmp/s", "--repair"]).is_err());
+        // A figure run accepts the containment flags without verify.
+        let b = parse(&["--all", "--deadline", "10", "--retries", "1"]).unwrap();
+        assert!(!b.verify);
+        assert_eq!(b.deadline, Some(10.0));
+        assert!(parse(&["--all", "--deadline", "0"]).is_err());
     }
 }

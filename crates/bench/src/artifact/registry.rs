@@ -75,6 +75,13 @@ pub fn registry() -> Vec<FigureSpec> {
             grid: figures::fairness_grid,
             render: figures::render_fairness,
         },
+        FigureSpec {
+            name: "fig_faults",
+            title: "Fault injection: outage/decode-loss recovery metrics",
+            default_seconds: 6,
+            grid: figures::faults_grid,
+            render: figures::render_faults,
+        },
     ]
 }
 
@@ -90,13 +97,13 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_findable() {
         let figures = registry();
-        assert_eq!(figures.len(), 5);
+        assert_eq!(figures.len(), 6);
         for fig in &figures {
             assert_eq!(find(fig.name).unwrap().default_seconds, fig.default_seconds);
         }
         let mut names: Vec<&str> = figures.iter().map(|f| f.name).collect();
         names.dedup();
-        assert_eq!(names.len(), 5, "registry names are unique");
+        assert_eq!(names.len(), 6, "registry names are unique");
         assert!(find("fig99_nonexistent").is_none());
     }
 

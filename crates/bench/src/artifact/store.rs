@@ -43,6 +43,64 @@ pub struct ManifestEntry {
     pub scheme: String,
     /// The expanded experiment seed.
     pub seed: u64,
+    /// 128-bit FNV-1a over the blob's exact bytes, written at insert time so
+    /// `verify` can detect truncated or corrupted blobs.  `default` keeps
+    /// pre-checksum manifests loadable (their blobs verify by parse only).
+    #[serde(default)]
+    pub checksum: Option<String>,
+}
+
+/// Why a grid point failed to execute (see [`PointFailure`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The scenario's simulation panicked.
+    Panic,
+    /// The scenario exceeded the execution deadline.
+    Deadline,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic => write!(f, "panic"),
+            FailureKind::Deadline => write!(f, "deadline"),
+        }
+    }
+}
+
+/// One line of `quarantine.jsonl`: a grid point that exhausted its execution
+/// attempts.  Quarantined keys are skipped-and-reported on resume instead of
+/// re-poisoning every invocation; deleting the file (or repairing the cause)
+/// lifts the quarantine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointFailure {
+    /// The point's content key.
+    pub key: String,
+    /// Registry name of the figure whose grid contains the point.
+    pub figure: String,
+    /// The scenario label of the point's spec.
+    pub label: String,
+    /// The scheme label (`spec.scheme.id()`).
+    pub scheme: String,
+    /// The expanded experiment seed.
+    pub seed: u64,
+    /// What killed the point.
+    pub kind: FailureKind,
+    /// The rendered panic payload, or a deadline description.
+    pub message: String,
+    /// How many execution attempts were made before giving up.
+    pub attempts: u32,
+}
+
+/// One problem `verify` found with a stored point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreIssue {
+    /// The affected content key.
+    pub key: String,
+    /// Registry name of the figure that stored the point.
+    pub figure: String,
+    /// Human-readable description of the problem.
+    pub problem: String,
 }
 
 /// One stored grid point: the expanded spec that ran and its full result.
@@ -65,6 +123,8 @@ pub struct ResultStore {
     entries: Vec<ManifestEntry>,
     /// key → index into `entries`, restricted to keys whose blob exists.
     present: BTreeMap<String, usize>,
+    /// key → quarantine record (last line per key wins).
+    quarantined: BTreeMap<String, PointFailure>,
 }
 
 impl ResultStore {
@@ -94,14 +154,43 @@ impl ResultStore {
                     .is_file()
                 {
                     present.insert(entry.key.clone(), entries.len());
+                } else {
+                    // A manifest line without its blob (deleted by hand, or
+                    // a kill in the blob-write window): say so and count the
+                    // point as absent, so it re-executes instead of silently
+                    // holing the report.
+                    eprintln!(
+                        "artifact store: manifest names {} ({}) but its blob is missing; \
+                         the point will re-execute",
+                        entry.key, entry.label
+                    );
                 }
                 entries.push(entry);
+            }
+        }
+        let mut quarantined = BTreeMap::new();
+        let quarantine = dir.join("quarantine.jsonl");
+        if quarantine.exists() {
+            for line in fs::read_to_string(&quarantine)?.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let Ok(failure) = serde_json::from_str::<PointFailure>(line) else {
+                    continue;
+                };
+                // A key that was stored successfully after it was quarantined
+                // is healthy: the blob's presence supersedes the record.
+                if !present.contains_key(&failure.key) {
+                    quarantined.insert(failure.key.clone(), failure);
+                }
             }
         }
         Ok(ResultStore {
             dir,
             entries,
             present,
+            quarantined,
         })
     }
 
@@ -158,16 +247,18 @@ impl ResultStore {
     }
 
     /// Persist one executed point: blob first (temp file + rename), manifest
-    /// line last.
+    /// line last.  The manifest line carries a checksum of the blob's exact
+    /// bytes so [`ResultStore::verify`] can detect later corruption.
     pub fn insert(&mut self, figure: &str, point: &StoredPoint) -> io::Result<()> {
+        let blob = serde_json::to_string(point).expect("stored point serializes");
         let entry = ManifestEntry {
             key: point.key.clone(),
             figure: figure.to_string(),
             label: point.spec.label.clone(),
             scheme: point.spec.scheme.id().to_string(),
             seed: point.spec.seed,
+            checksum: Some(pbe_stats::fnv1a_128_hex(blob.as_bytes())),
         };
-        let blob = serde_json::to_string(point).expect("stored point serializes");
         let path = self.point_path(&point.key);
         let tmp = self.dir.join("points").join(format!(".{}.tmp", point.key));
         fs::write(&tmp, blob)?;
@@ -179,7 +270,104 @@ impl ResultStore {
             .open(self.manifest_path())?;
         writeln!(manifest, "{line}")?;
         self.present.insert(entry.key.clone(), self.entries.len());
+        // A successful execution supersedes any quarantine on the key (the
+        // file keeps the historical record; the in-memory view moves on).
+        self.quarantined.remove(&entry.key);
         self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Path of the quarantine file.
+    pub fn quarantine_path(&self) -> PathBuf {
+        self.dir.join("quarantine.jsonl")
+    }
+
+    /// The quarantine record of a key, if any.
+    pub fn quarantine_entry(&self, key: &str) -> Option<&PointFailure> {
+        self.quarantined.get(key)
+    }
+
+    /// Every quarantined point, in key order.
+    pub fn quarantined(&self) -> Vec<&PointFailure> {
+        self.quarantined.values().collect()
+    }
+
+    /// Persist a point failure: the key is skipped-and-reported by
+    /// store-aware executors until the quarantine is lifted (the blob, if
+    /// any, stays untouched).
+    pub fn quarantine(&mut self, failure: &PointFailure) -> io::Result<()> {
+        let line = serde_json::to_string(failure).expect("point failure serializes");
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.quarantine_path())?;
+        writeln!(file, "{line}")?;
+        self.quarantined
+            .insert(failure.key.clone(), failure.clone());
+        Ok(())
+    }
+
+    /// Lift every quarantine: remove the file, so all keys execute again.
+    pub fn clear_quarantine(&mut self) -> io::Result<()> {
+        self.quarantined.clear();
+        let path = self.quarantine_path();
+        if path.exists() {
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    /// Check every present point's blob against its manifest checksum.
+    ///
+    /// Reports, in manifest order: blobs whose bytes no longer match the
+    /// checksum recorded at insert time (truncation, corruption), and blobs
+    /// that no longer parse (covers pre-checksum manifest lines).  A clean
+    /// store returns an empty list.
+    pub fn verify(&self) -> Vec<StoreIssue> {
+        let mut issues = Vec::new();
+        for entry in self.present_entries() {
+            let path = self.dir.join("points").join(format!("{}.json", entry.key));
+            let text = match fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(err) => {
+                    issues.push(StoreIssue {
+                        key: entry.key.clone(),
+                        figure: entry.figure.clone(),
+                        problem: format!("blob unreadable: {err}"),
+                    });
+                    continue;
+                }
+            };
+            if let Some(expected) = &entry.checksum {
+                let actual = pbe_stats::fnv1a_128_hex(text.as_bytes());
+                if actual != *expected {
+                    issues.push(StoreIssue {
+                        key: entry.key.clone(),
+                        figure: entry.figure.clone(),
+                        problem: format!("checksum mismatch (manifest {expected}, blob {actual})"),
+                    });
+                    continue;
+                }
+            }
+            if serde_json::from_str::<StoredPoint>(&text).is_err() {
+                issues.push(StoreIssue {
+                    key: entry.key.clone(),
+                    figure: entry.figure.clone(),
+                    problem: "blob does not parse as a stored point".to_string(),
+                });
+            }
+        }
+        issues
+    }
+
+    /// Drop a point: delete its blob so the key counts as absent and
+    /// re-executes.  Manifest lines are append-only history and stay.
+    pub fn invalidate(&mut self, key: &str) -> io::Result<()> {
+        self.present.remove(key);
+        let path = self.point_path(key);
+        if path.exists() {
+            fs::remove_file(path)?;
+        }
         Ok(())
     }
 }
@@ -253,6 +441,112 @@ mod tests {
         fs::write(dir.join("manifest.jsonl"), format!("{first_line}\n")).unwrap();
         let store = ResultStore::open(&dir).unwrap();
         assert!(!store.contains(&b.key));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_flags_corrupted_and_truncated_blobs() {
+        let dir = temp_store("verify");
+        let a = tiny_point(5);
+        let b = tiny_point(6);
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.insert("figX", &a).unwrap();
+        store.insert("figX", &b).unwrap();
+        assert!(store.verify().is_empty(), "fresh store verifies clean");
+
+        // Truncate one blob (simulated torn write / disk trouble).
+        let path = store.point_path(&a.key);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let issues = ResultStore::open(&dir).unwrap().verify();
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].key, a.key);
+        assert!(issues[0].problem.contains("checksum mismatch"));
+
+        // Invalidating the bad key makes it absent; the good key verifies.
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.invalidate(&a.key).unwrap();
+        assert!(!store.contains(&a.key));
+        assert!(store.contains(&b.key));
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert!(!reopened.contains(&a.key));
+        assert!(reopened.verify().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_checksum_manifest_lines_still_load_and_verify_by_parse() {
+        let dir = temp_store("precksum");
+        let a = tiny_point(7);
+        {
+            let mut store = ResultStore::open(&dir).unwrap();
+            store.insert("figX", &a).unwrap();
+        }
+        // Strip the checksum field, as a manifest written before the field
+        // existed would look.
+        let manifest = fs::read_to_string(dir.join("manifest.jsonl")).unwrap();
+        let entry: ManifestEntry = serde_json::from_str(manifest.lines().next().unwrap()).unwrap();
+        let legacy = ManifestEntry {
+            checksum: None,
+            ..entry
+        };
+        fs::write(
+            dir.join("manifest.jsonl"),
+            format!("{}\n", serde_json::to_string(&legacy).unwrap()),
+        )
+        .unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.contains(&a.key));
+        assert!(
+            store.verify().is_empty(),
+            "parseable blob passes without a checksum"
+        );
+        // But a corrupted blob is still caught by the parse fallback.
+        fs::write(store.point_path(&a.key), "{\"key\": \"gar").unwrap();
+        let issues = ResultStore::open(&dir).unwrap().verify();
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].problem.contains("does not parse"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_round_trips_across_reopen_and_lifts_on_success() {
+        let dir = temp_store("quarantine");
+        let a = tiny_point(8);
+        let failure = PointFailure {
+            key: a.key.clone(),
+            figure: "figX".to_string(),
+            label: a.spec.label.clone(),
+            scheme: a.spec.scheme.id().to_string(),
+            seed: a.spec.seed,
+            kind: FailureKind::Panic,
+            message: "boom".to_string(),
+            attempts: 2,
+        };
+        {
+            let mut store = ResultStore::open(&dir).unwrap();
+            store.quarantine(&failure).unwrap();
+            assert_eq!(store.quarantine_entry(&a.key), Some(&failure));
+        }
+        // A fresh handle sees the quarantine.
+        let mut store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.quarantined(), vec![&failure]);
+        // A later successful execution lifts it — in memory and on reopen
+        // (the blob's presence supersedes the persisted record).
+        store.insert("figX", &a).unwrap();
+        assert!(store.quarantine_entry(&a.key).is_none());
+        assert!(
+            ResultStore::open(&dir)
+                .unwrap()
+                .quarantine_entry(&a.key)
+                .is_none(),
+            "a stale quarantine line does not resurrect a healthy point"
+        );
+        // Clearing removes the file entirely.
+        store.quarantine(&failure).unwrap();
+        store.clear_quarantine().unwrap();
+        assert!(store.quarantined().is_empty());
+        assert!(!store.quarantine_path().exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

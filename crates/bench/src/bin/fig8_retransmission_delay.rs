@@ -44,6 +44,7 @@ fn main() {
             trajectories: Vec::new(),
             shards: None,
             backhaul: None,
+            faults: None,
         };
         let result = Simulation::new(cfg).run();
         let delays: Vec<f64> = result.flows[0]

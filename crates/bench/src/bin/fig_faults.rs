@@ -1,0 +1,37 @@
+//! Fault injection: outage and decode-loss recovery metrics.
+//!
+//! Two scenarios on the default three-cell network, crossed with PBE-CC,
+//! BBR and CUBIC: (a) the primary cell goes dark for the middle half of the
+//! run — the UE declares radio-link failure after the detection deadline
+//! and re-selects a 10 MHz neighbour; (b) the control channel is
+//! undecodable for 200 ms — PBE-CC rides through on its held estimate.
+//! The binary prints per-point recovery metrics (time to reconnect, packets
+//! stranded, estimate error across the fault window) next to the flow's
+//! throughput and delay.
+//!
+//! The grid and renderer live in the artifact figure registry
+//! (`pbe_bench::artifact`), shared with `pbe-bench artifact`; this binary is
+//! the standalone, always-fresh way to run the same figure.
+
+use pbe_bench::artifact;
+use pbe_bench::sweep::SweepArgs;
+
+fn main() -> std::io::Result<()> {
+    let fig = artifact::find("fig_faults").expect("registered figure");
+    let args = SweepArgs::parse();
+    let seconds = args.seconds_or(fig.default_seconds);
+    let writer = args.writer()?;
+    writer.note(&format!(
+        "Fault-injection reproduction ({seconds} s per scenario)\n"
+    ));
+
+    let report = args.runner().run((fig.grid)(seconds).expand());
+    if writer.wants_json() {
+        writer.sweep_json(fig.name, &report)?;
+        writer.timing(&report);
+        return Ok(());
+    }
+    (fig.render)(&report, seconds, &writer)?;
+    writer.timing(&report);
+    Ok(())
+}

@@ -145,6 +145,7 @@ pub fn many_ue_config() -> SimConfig {
         trajectories: Vec::new(),
         shards: None,
         backhaul: None,
+        faults: None,
     }
 }
 

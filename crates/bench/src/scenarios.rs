@@ -71,6 +71,7 @@ impl Location {
             trajectories: Vec::new(),
             shards: None,
             backhaul: None,
+            faults: None,
         }
     }
 }

@@ -5,7 +5,8 @@ use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::traffic::CellLoadProfile;
 use pbe_netsim::{
-    BackhaulConfig, CellTrajectory, FlowConfig, SchemeChoice, SimConfig, SimResult, Simulation,
+    BackhaulConfig, CellTrajectory, FaultSchedule, FlowConfig, SchemeChoice, SimConfig, SimResult,
+    Simulation,
 };
 use pbe_stats::rng::derive_seed;
 use pbe_stats::time::Duration;
@@ -55,6 +56,12 @@ pub struct ScenarioSpec {
     /// loadable.
     #[serde(default)]
     pub backhaul: Option<BackhaulConfig>,
+    /// Deterministic fault schedule (cell outages, link flaps, decode-loss
+    /// bursts; see [`SimConfig::faults`]).  `default` keeps pre-fault
+    /// scenario JSON loadable, and an empty schedule elides from the content
+    /// key exactly like `None`.
+    #[serde(default)]
+    pub faults: Option<FaultSchedule>,
 }
 
 impl ScenarioSpec {
@@ -74,6 +81,7 @@ impl ScenarioSpec {
             trajectories: Vec::new(),
             shards: None,
             backhaul: None,
+            faults: None,
         }
     }
 
@@ -150,6 +158,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Inject a deterministic fault schedule (see [`SimConfig::faults`]).
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Override the RSSI trajectory one UE sees towards one of its
     /// configured cells (multi-cell mobility; see
     /// [`SimConfig::trajectories`]).
@@ -182,6 +196,7 @@ impl ScenarioSpec {
             trajectories: self.trajectories.clone(),
             shards: self.shards,
             backhaul: self.backhaul.clone(),
+            faults: self.faults.clone(),
         }
     }
 
@@ -447,6 +462,21 @@ mod tests {
         assert!(!canon.contains("shards"));
         assert!(!canon.contains("backhaul"));
         assert!(!canon.contains("trajectories"));
+        assert!(!canon.contains("faults"));
+        // An *empty* fault schedule canonicalizes to `{}` and elides exactly
+        // like `None`: old stored keys survive the field's introduction.
+        let faulted = spec.clone().faults(FaultSchedule::none());
+        assert_eq!(faulted.content_key(), spec.content_key());
+        // A non-empty schedule is a different experiment.
+        let outage = spec.clone().faults(FaultSchedule {
+            cell_outages: vec![pbe_netsim::CellOutage {
+                cell: CellId(0),
+                start_ms: 100,
+                end_ms: 200,
+            }],
+            ..FaultSchedule::none()
+        });
+        assert_ne!(outage.content_key(), spec.content_key());
         // Hashing the parsed JSON (any spelling) matches the live key.
         let text = serde_json::to_string(&spec).unwrap();
         let parsed = serde_json::parse(&text).unwrap();

@@ -27,6 +27,10 @@ fn args(store: &Path, out: &Path) -> ArtifactArgs {
         seconds: Some(1),
         workers: 1,
         format: OutputFormat::Csv,
+        deadline: None,
+        retries: 0,
+        verify: false,
+        repair: false,
     }
 }
 

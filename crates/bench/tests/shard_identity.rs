@@ -6,7 +6,8 @@
 //! property per subframe, and `pbe-netsim` per simulation.
 
 use pbe_bench::sweep::CityScale;
-use pbe_netsim::{SchemeChoice, Simulation};
+use pbe_cellular::config::CellId;
+use pbe_netsim::{CellOutage, DecodeLossBurst, FaultSchedule, SchemeChoice, Simulation};
 
 /// A metro in miniature: multi-column grid so shards get contiguous runs of
 /// cells, driving speed so UEs cross shard boundaries, more UEs than flows.
@@ -36,6 +37,57 @@ fn metro_is_byte_identical_across_shard_counts() {
             "shards={shards} diverged from the serial engine"
         );
     }
+}
+
+fn metro_faults() -> FaultSchedule {
+    FaultSchedule {
+        cell_outages: vec![CellOutage {
+            cell: CellId(0),
+            start_ms: 2_000,
+            end_ms: 5_000,
+        }],
+        decode_loss: vec![DecodeLossBurst {
+            flow: 1,
+            start_ms: 6_000,
+            end_ms: 6_300,
+        }],
+        ..FaultSchedule::none()
+    }
+}
+
+fn faulted_result_json(shards: Option<usize>) -> String {
+    let mut cfg = mini_metro(shards).scenario().sim_config();
+    cfg.faults = Some(metro_faults());
+    let result = Simulation::new(cfg).run();
+    serde_json::to_string(&result).expect("result serialises")
+}
+
+#[test]
+fn faulted_metro_is_byte_identical_across_shard_counts() {
+    // The acceptance check for the fault-injection layer: injecting a
+    // primary-cell outage and a decode-loss burst into the metro scenario
+    // must leave serial-vs-sharded byte identity intact — faults are part
+    // of the deterministic schedule, not a source of divergence.
+    let serial = faulted_result_json(None);
+    for shards in [1usize, 2, 4] {
+        let sharded = faulted_result_json(Some(shards));
+        assert_eq!(
+            serial, sharded,
+            "faulted metro: shards={shards} diverged from the serial engine"
+        );
+    }
+    // And the faults actually fired: recovery records exist in the output.
+    let cfg = {
+        let mut cfg = mini_metro(Some(2)).scenario().sim_config();
+        cfg.faults = Some(metro_faults());
+        cfg
+    };
+    let result = Simulation::new(cfg).run();
+    assert_eq!(
+        result.fault_recovery.len(),
+        2,
+        "both injected faults produced recovery records"
+    );
 }
 
 #[test]

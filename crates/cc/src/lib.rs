@@ -20,6 +20,7 @@
 
 pub mod api;
 pub mod bbr;
+pub mod chaos;
 pub mod copa;
 pub mod cubic;
 pub mod cubic_ecn;
@@ -34,6 +35,7 @@ pub mod windowed;
 
 pub use api::{AckInfo, CongestionControl, CongestionSignal, PbeFeedback, SchemeName, MSS_BYTES};
 pub use bbr::Bbr;
+pub use chaos::{ChaosHang, ChaosPanic};
 pub use copa::Copa;
 pub use cubic::Cubic;
 pub use cubic_ecn::CubicEcn;

@@ -116,6 +116,9 @@ pub struct Cell {
     /// `tbs_bits` physical bits carries `tbs_bits · (1 − γ)` payload bits
     /// (paper Eqn. 5, measured as 6.8 %).
     protocol_overhead: f64,
+    /// Out of service (injected cell outage): the cell schedules nothing —
+    /// no HARQ, no background draws, no DCI — until service returns.
+    down: bool,
     rng: DetRng,
     /// Cumulative PRBs allocated to anyone (for utilisation stats).
     pub total_allocated_prbs: u64,
@@ -156,6 +159,7 @@ impl Cell {
             channel: Vec::new(),
             tb_counter: 0,
             protocol_overhead: 0.0,
+            down: false,
             rng,
             total_allocated_prbs: 0,
             subframes_ticked: 0,
@@ -189,6 +193,19 @@ impl Cell {
     /// The cell id.
     pub fn id(&self) -> CellId {
         self.config.id
+    }
+
+    /// Take the cell out of service (or back into it).  While down, ticks
+    /// schedule nothing and draw no randomness; queues and HARQ state are
+    /// frozen in place until the cell returns or its UEs are detached by the
+    /// RLF re-selection.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// True while the cell is out of service.
+    pub fn is_down(&self) -> bool {
+        self.down
     }
 
     /// Attach a foreground UE with the RNTI its grants will be addressed to.
@@ -433,6 +450,20 @@ impl Cell {
         report.prb_usage.total = total_prbs;
         report.prb_usage.allocations.clear();
         report.queue_bits.clear();
+
+        // An out-of-service cell transmits nothing and draws no randomness:
+        // the report stays empty (queue depths excepted, so observers can see
+        // the data stranding up), staged channel states are consumed as
+        // usual, and every queue/HARQ timer freezes in place.
+        if self.down {
+            for (slot, ue) in self.slots.ids().iter().enumerate() {
+                report.queue_bits.insert(*ue, self.queued_bits[slot]);
+            }
+            for c in &mut self.channel {
+                *c = None;
+            }
+            return;
+        }
         let mut cursor: u16 = 0;
 
         // --- Phase 1: HARQ retransmissions take priority. ------------------
@@ -875,6 +906,39 @@ mod tests {
             let report = cell.tick(sf, &channels_for(ue, good_channel()));
             assert!(report.prb_usage.is_consistent(), "subframe {sf}");
         }
+    }
+
+    #[test]
+    fn a_down_cell_schedules_nothing_and_resumes_cleanly() {
+        let mut cell = quiet_cell();
+        let ue = UeId(1);
+        cell.attach(ue, Rnti(0x100));
+        for i in 0..10 {
+            cell.enqueue(
+                ue,
+                QueuedPacket {
+                    id: i,
+                    bytes: 1500,
+                    enqueued_at: Instant::ZERO,
+                },
+            );
+        }
+        cell.set_down(true);
+        assert!(cell.is_down());
+        let before = cell.queue_bits(ue);
+        for sf in 0..20u64 {
+            let report = cell.tick(sf, &channels_for(ue, good_channel()));
+            assert!(report.dci_messages.is_empty(), "down cell emits no DCI");
+            assert!(report.outcomes.is_empty());
+            assert_eq!(report.prb_usage.allocated(), 0);
+            assert_eq!(report.queue_bits[&ue], before, "queue frozen in place");
+        }
+        assert_eq!(cell.queue_bits(ue), before);
+        // Back in service: the frozen queue drains again.
+        cell.set_down(false);
+        let report = cell.tick(20, &channels_for(ue, good_channel()));
+        assert!(!report.dci_messages.is_empty(), "service resumed");
+        assert!(cell.queue_bits(ue) < before);
     }
 
     #[test]

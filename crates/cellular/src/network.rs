@@ -31,6 +31,26 @@ use pbe_stats::{DetRng, FxHashMap};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// RSRP reported for a cell that is out of service: far below any A3
+/// threshold, so neither the L3 filter nor the RLF re-selection ever ranks a
+/// down cell above a live one.
+pub const OUTAGE_RSRP_DBM: f64 = -200.0;
+
+/// What a radio-link-failure declaration did (see
+/// [`CellularNetwork::declare_rlf`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RlfOutcome {
+    /// The forced re-selections, one per resident UE that found a live
+    /// target, in UeId order (same shape as A3 handovers).
+    pub events: Vec<HandoverEvent>,
+    /// UEs that had no live configured cell to re-select and stay camped on
+    /// the failed cell, in UeId order.
+    pub stayed: Vec<UeId>,
+    /// Downlink packets left queued at the failed cell for the UEs that
+    /// could not re-select (data stranded until service returns).
+    pub stranded_packets: u64,
+}
+
 /// A packet delivered (or lost) by the cellular network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Delivery {
@@ -80,6 +100,11 @@ pub struct CellularNetwork {
     /// per-UE-per-subframe CA bookkeeping must not pay a linear scan of the
     /// cell list for each active cell.
     prb_lookup: Vec<u32>,
+    /// Dense cell position → out-of-service flag (injected outages).  Kept
+    /// beside the per-[`Cell`] flag so the phase-1 sampling loop can consult
+    /// it without touching the cell — the same read the sharded engine does
+    /// from its parallel workers.
+    down_lookup: Vec<bool>,
     /// Sorted dense UeId → slot index; `ues` is its parallel value lane.
     /// Slot order is UeId order — the per-subframe iteration order that
     /// keeps scheduling, delivery and RNG-draw order reproducible.
@@ -122,6 +147,34 @@ pub(crate) fn build_cell_lookup(config: &CellularConfig) -> (Vec<usize>, Vec<u32
     (cell_lookup, prb_lookup)
 }
 
+/// The RLF re-selection rule, shared verbatim by the serial and sharded
+/// engines: the best live configured cell by filtered RSRP, ties broken by
+/// configured order; cells the UE never measured rank below any measured one
+/// (but are still eligible, so a UE whose only neighbour is unmeasured
+/// re-selects it rather than staying on a dead cell).
+pub(crate) fn best_rlf_target(
+    configured: &[CellId],
+    failed: CellId,
+    is_down: impl Fn(CellId) -> bool,
+    filtered_rsrp: impl Fn(CellId) -> Option<f64>,
+) -> Option<CellId> {
+    let mut best: Option<(CellId, f64)> = None;
+    for &c in configured {
+        if c == failed || is_down(c) {
+            continue;
+        }
+        let rsrp = filtered_rsrp(c).unwrap_or(f64::NEG_INFINITY);
+        let better = match best {
+            None => true,
+            Some((_, b)) => rsrp > b,
+        };
+        if better {
+            best = Some((c, rsrp));
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
 impl CellularNetwork {
     /// Build the network with one background-traffic generator per cell using
     /// the given load profile.
@@ -142,11 +195,13 @@ impl CellularNetwork {
             .collect();
         let (cell_lookup, prb_lookup) = build_cell_lookup(&config);
         let handover = HandoverManager::new(config.handover);
+        let down_lookup = vec![false; cells.len()];
         CellularNetwork {
             config,
             cells,
             cell_lookup,
             prb_lookup,
+            down_lookup,
             ue_slots: UeSlots::new(),
             ues: Vec::new(),
             ca: CarrierAggregationManager::new(),
@@ -178,6 +233,85 @@ impl CellularNetwork {
     /// The handover state machine (e.g. for filtered-RSRP diagnostics).
     pub fn handover(&self) -> &HandoverManager {
         &self.handover
+    }
+
+    /// Take a cell out of service (or bring it back).  While down the cell
+    /// schedules nothing, its staged channel states are discarded, and every
+    /// UE measures it at [`OUTAGE_RSRP_DBM`].  Returns the UEs whose serving
+    /// (primary) cell it is, in UeId order — the population a subsequent
+    /// [`CellularNetwork::declare_rlf`] will act on.
+    pub fn set_cell_outage(&mut self, cell: CellId, down: bool) -> Vec<UeId> {
+        let pos = self.cell_pos(cell);
+        let Some(c) = self.cells.get_mut(pos) else {
+            return Vec::new();
+        };
+        c.set_down(down);
+        self.down_lookup[pos] = down;
+        self.ue_slots
+            .ids()
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| self.ues[*slot].config().primary_cell() == cell)
+            .map(|(_, ue)| *ue)
+            .collect()
+    }
+
+    /// True while a cell is out of service.
+    pub fn cell_is_down(&self, cell: CellId) -> bool {
+        self.down_lookup
+            .get(self.cell_pos(cell))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Declare radio-link failure on a (down) cell: every UE whose serving
+    /// cell it is re-selects the best live configured cell by filtered RSRP
+    /// through the ordinary X2 handover procedure (queued data forwarded,
+    /// RLC re-established, CA collapsed).  UEs with no live configured cell
+    /// stay camped, their queued packets counted as stranded.  Reordering
+    /// releases are appended to `deliveries`, exactly as for A3 handovers.
+    pub fn declare_rlf(
+        &mut self,
+        cell: CellId,
+        now: Instant,
+        deliveries: &mut Vec<Delivery>,
+    ) -> RlfOutcome {
+        let mut outcome = RlfOutcome::default();
+        // Residents in UeId order — the deterministic execution order.
+        let residents: Vec<UeId> = self
+            .ue_slots
+            .ids()
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| self.ues[*slot].config().primary_cell() == cell)
+            .map(|(_, ue)| *ue)
+            .collect();
+        for ue_id in residents {
+            let target = {
+                let ue = self.ue(ue_id).expect("resident ue exists");
+                best_rlf_target(
+                    &ue.config().configured_cells,
+                    cell,
+                    |c| self.cell_is_down(c),
+                    |c| self.handover.filtered_rsrp(ue_id, c),
+                )
+            };
+            match target {
+                Some(target) => {
+                    let event = self.execute_handover(ue_id, target, now, deliveries);
+                    outcome.events.push(event);
+                }
+                None => {
+                    let stranded = self
+                        .cell(cell)
+                        .map(|c| c.queue_packets(ue_id) as u64)
+                        .unwrap_or(0);
+                    outcome.stranded_packets += stranded;
+                    outcome.stayed.push(ue_id);
+                }
+            }
+        }
+        outcome
     }
 
     #[inline]
@@ -409,14 +543,23 @@ impl CellularNetwork {
                 let Some(state) = self.ues[slot].sample_channel(cell_id, now) else {
                     continue;
                 };
-                if is_active {
-                    let pos = self.cell_pos(cell_id);
+                // A down cell still consumes its channel draw (stream
+                // conservation: the outage must not shift any other draw),
+                // but schedules nothing and measures at the outage floor.
+                let pos = self.cell_pos(cell_id);
+                let cell_down = self.down_lookup.get(pos).copied().unwrap_or(false);
+                if is_active && !cell_down {
                     if let Some(cell) = self.cells.get_mut(pos) {
                         cell.set_channel(ue_id, state);
                     }
                 }
                 if measure_ue {
-                    self.rsrp_scratch.push((cell_id, state.rsrp_dbm()));
+                    let rsrp = if cell_down {
+                        OUTAGE_RSRP_DBM
+                    } else {
+                        state.rsrp_dbm()
+                    };
+                    self.rsrp_scratch.push((cell_id, rsrp));
                 }
             }
             if measure_ue {
@@ -1027,6 +1170,94 @@ mod tests {
             delivered += report.deliveries.iter().filter(|d| d.delivered).count();
         }
         assert!(delivered > 0, "data flows on a 300-cell grid");
+    }
+
+    #[test]
+    fn cell_outage_forces_rlf_reselection_and_data_continues() {
+        let mut net = network(CellLoadProfile::none());
+        let ue = add_default_ue(&mut net, 1);
+        let mut pid = 0u64;
+        // Warm up: measurements populate the L3 filter for the neighbours.
+        for sf in 0..1000u64 {
+            let now = Instant::from_millis(sf);
+            net.enqueue_packet(ue, pid, 1500, now);
+            pid += 1;
+            net.tick(now);
+        }
+        assert_eq!(net.serving_cell(ue), Some(CellId(0)));
+
+        // Outage: cell 0 goes dark; residents reported in UeId order.
+        let residents = net.set_cell_outage(CellId(0), true);
+        assert_eq!(residents, vec![ue]);
+        assert!(net.cell_is_down(CellId(0)));
+
+        // Detection window: the down cell schedules nothing.
+        for sf in 1000..1040u64 {
+            let now = Instant::from_millis(sf);
+            net.enqueue_packet(ue, pid, 1500, now);
+            pid += 1;
+            let report = net.tick(now);
+            assert!(
+                report.cell_reports[0].dci_messages.is_empty(),
+                "down cell stays silent at subframe {sf}"
+            );
+        }
+
+        // RLF: the UE re-selects a live neighbour and its queued data is
+        // forwarded, not stranded.
+        let mut deliveries = Vec::new();
+        let outcome = net.declare_rlf(CellId(0), Instant::from_millis(1040), &mut deliveries);
+        assert_eq!(outcome.events.len(), 1);
+        assert_eq!(outcome.events[0].from, CellId(0));
+        assert_ne!(outcome.events[0].to, CellId(0));
+        assert!(outcome.stayed.is_empty());
+        assert_eq!(outcome.stranded_packets, 0);
+        let target = outcome.events[0].to;
+        assert_eq!(net.serving_cell(ue), Some(target));
+
+        // Data keeps flowing on the target while cell 0 is still down.
+        let mut delivered = 0u64;
+        for sf in 1041..1600u64 {
+            let now = Instant::from_millis(sf);
+            net.enqueue_packet(ue, pid, 1500, now);
+            pid += 1;
+            let report = net.tick(now);
+            delivered += report.deliveries.iter().filter(|d| d.delivered).count() as u64;
+        }
+        assert!(delivered > 400, "delivered {delivered} on the target cell");
+    }
+
+    #[test]
+    fn rlf_with_no_live_neighbour_strands_the_queue() {
+        let mut net = network(CellLoadProfile::none());
+        let ue = UeId(1);
+        net.add_ue(
+            UeConfig::new(ue, vec![CellId(0)], 1, -85.0),
+            MobilityTrace::stationary(-85.0),
+        );
+        for sf in 0..50u64 {
+            let now = Instant::from_millis(sf);
+            net.tick(now);
+        }
+        net.set_cell_outage(CellId(0), true);
+        // Packets arriving during the outage pile up at the dead cell.
+        for i in 0..10u64 {
+            net.enqueue_packet(ue, i, 1500, Instant::from_millis(50));
+        }
+        let mut deliveries = Vec::new();
+        let outcome = net.declare_rlf(CellId(0), Instant::from_millis(90), &mut deliveries);
+        assert!(outcome.events.is_empty(), "nowhere to go");
+        assert_eq!(outcome.stayed, vec![ue]);
+        assert_eq!(outcome.stranded_packets, 10);
+        assert_eq!(net.serving_cell(ue), Some(CellId(0)));
+        // Service returns: the stranded queue drains.
+        net.set_cell_outage(CellId(0), false);
+        let mut delivered = 0u64;
+        for sf in 91..200u64 {
+            let report = net.tick(Instant::from_millis(sf));
+            delivered += report.deliveries.iter().filter(|d| d.delivered).count() as u64;
+        }
+        assert_eq!(delivered, 10, "the stranded packets deliver on recovery");
     }
 
     #[test]

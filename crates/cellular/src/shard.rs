@@ -60,7 +60,7 @@ use crate::cell::{Cell, QueuedPacket, SubframeReport};
 use crate::channel::{ChannelModel, ChannelState, MobilityTrace};
 use crate::config::{CellId, CellularConfig, Rnti, UeConfig, UeId};
 use crate::handover::{HandoverEvent, HandoverManager};
-use crate::network::{build_cell_lookup, Delivery, NetworkTickReport};
+use crate::network::{best_rlf_target, build_cell_lookup, Delivery, NetworkTickReport, RlfOutcome};
 use crate::slab::{SlotInsert, UeSlab, UeSlots};
 use crate::traffic::{BackgroundTraffic, CellLoadProfile};
 use crate::ue::{PacketEvent, UserEquipment};
@@ -204,6 +204,9 @@ pub struct ShardedNetwork {
     prb_lookup: Vec<u32>,
     /// Global cell position → owning shard index.
     pos_shard: Vec<usize>,
+    /// Global cell position → out-of-service flag (injected outages).  Read
+    /// by every worker during phase 1; written only between ticks.
+    down_lookup: Vec<bool>,
     /// UeId → owning shard index (the shard of its serving cell).
     ue_home: UeSlab<usize>,
     next_rnti: u16,
@@ -263,6 +266,7 @@ impl ShardedNetwork {
             cell_lookup,
             prb_lookup,
             pos_shard,
+            down_lookup: vec![false; n_cells],
             ue_home: UeSlab::new(),
             next_rnti: 0x0100,
             rng,
@@ -331,6 +335,93 @@ impl ShardedNetwork {
         ) {
             c.background_mut().set_profile(load);
         }
+    }
+
+    /// Take a cell out of service (or bring it back); see
+    /// [`CellularNetwork::set_cell_outage`](crate::network::CellularNetwork::set_cell_outage).
+    /// Returns the resident UEs in global UeId order, whichever shards they
+    /// live in.
+    pub fn set_cell_outage(&mut self, cell: CellId, down: bool) -> Vec<UeId> {
+        let pos = lookup_pos(&self.cell_lookup, cell);
+        let Some(c) = cell_at_mut(
+            &mut self.cell_shards,
+            &self.cell_lookup,
+            &self.pos_shard,
+            cell,
+        ) else {
+            return Vec::new();
+        };
+        c.set_down(down);
+        self.down_lookup[pos] = down;
+        self.residents_of(cell)
+    }
+
+    /// True while a cell is out of service.
+    pub fn cell_is_down(&self, cell: CellId) -> bool {
+        self.down_lookup
+            .get(lookup_pos(&self.cell_lookup, cell))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// UEs whose serving (primary) cell is `cell`, in global UeId order.
+    fn residents_of(&self, cell: CellId) -> Vec<UeId> {
+        let mut residents: Vec<UeId> = self
+            .ue_shards
+            .iter()
+            .flat_map(|us| {
+                us.slots
+                    .ids()
+                    .iter()
+                    .enumerate()
+                    .filter(|(slot, _)| us.ues[*slot].config().primary_cell() == cell)
+                    .map(|(_, ue)| *ue)
+                    .collect::<Vec<UeId>>()
+            })
+            .collect();
+        // Residents of one cell all live in its shard, but sort anyway: the
+        // contract is global UeId order, not an artifact of shard layout.
+        residents.sort_unstable_by_key(|ue| ue.0);
+        residents
+    }
+
+    /// Declare radio-link failure on a (down) cell; see
+    /// [`CellularNetwork::declare_rlf`](crate::network::CellularNetwork::declare_rlf).
+    /// Byte-identical to the serial engine: residents execute in UeId order
+    /// through the same X2 drain/forward (plus shard migration when the
+    /// target lives elsewhere).
+    pub fn declare_rlf(
+        &mut self,
+        cell: CellId,
+        now: Instant,
+        deliveries: &mut Vec<Delivery>,
+    ) -> RlfOutcome {
+        let mut outcome = RlfOutcome::default();
+        for ue_id in self.residents_of(cell) {
+            let target = {
+                let u = self.ue(ue_id).expect("resident ue exists");
+                best_rlf_target(
+                    &u.config().configured_cells,
+                    cell,
+                    |c| self.cell_is_down(c),
+                    |c| self.filtered_rsrp(ue_id, c),
+                )
+            };
+            match target {
+                Some(target) => {
+                    let event = self.execute_handover(ue_id, target, now, deliveries);
+                    outcome.events.push(event);
+                }
+                None => {
+                    let stranded = cell_at(&self.cell_shards, &self.tables(), cell)
+                        .map(|c| c.queue_packets(ue_id) as u64)
+                        .unwrap_or(0);
+                    outcome.stranded_packets += stranded;
+                    outcome.stayed.push(ue_id);
+                }
+            }
+        }
+        outcome
     }
 
     /// The deterministic random stream of one (UE, configured-cell-index)
@@ -560,12 +651,13 @@ impl ShardedNetwork {
             let cells_ptr = ShardPtr(self.cell_shards.as_mut_ptr());
             let ues_ptr = ShardPtr(self.ue_shards.as_mut_ptr());
             let cell_lookup = &self.cell_lookup;
+            let down_lookup = &self.down_lookup;
             self.pool.run(n, |i| {
                 // SAFETY: each shard index is claimed by exactly one worker,
                 // so these are the only live references to shard i.
                 let cs = unsafe { &mut *cells_ptr.at(i) };
                 let us = unsafe { &mut *ues_ptr.at(i) };
-                shard_phase1(cs, us, cell_lookup, measure, now);
+                shard_phase1(cs, us, cell_lookup, down_lookup, measure, now);
             });
         }
 
@@ -832,6 +924,7 @@ fn shard_phase1(
     cs: &mut CellShard,
     us: &mut UeShard,
     cell_lookup: &[usize],
+    down_lookup: &[bool],
     measure: bool,
     now: Instant,
 ) {
@@ -856,18 +949,25 @@ fn shard_phase1(
             let Some(state) = us.ues[slot].sample_channel(cell_id, now) else {
                 continue;
             };
-            if is_active {
-                let pos = lookup_pos(cell_lookup, cell_id);
-                if pos != usize::MAX {
-                    if pos >= cs.start && pos < cs.start + cs.cells.len() {
-                        cs.cells[pos - cs.start].set_channel(ue_id, state);
-                    } else {
-                        us.outbox.push((pos, ue_id, state));
-                    }
+            // Mirror of the serial engine: a down cell still consumes its
+            // channel draw but gets no staged state and measures at the
+            // outage floor.
+            let pos = lookup_pos(cell_lookup, cell_id);
+            let cell_down = pos != usize::MAX && down_lookup[pos];
+            if is_active && !cell_down && pos != usize::MAX {
+                if pos >= cs.start && pos < cs.start + cs.cells.len() {
+                    cs.cells[pos - cs.start].set_channel(ue_id, state);
+                } else {
+                    us.outbox.push((pos, ue_id, state));
                 }
             }
             if measure_ue {
-                us.rsrp_scratch.push((cell_id, state.rsrp_dbm()));
+                let rsrp = if cell_down {
+                    crate::network::OUTAGE_RSRP_DBM
+                } else {
+                    state.rsrp_dbm()
+                };
+                us.rsrp_scratch.push((cell_id, rsrp));
             }
         }
         if measure_ue {
@@ -1223,6 +1323,63 @@ mod tests {
             // The property is not vacuous: the 1-second crossings hand over
             // well inside the 1.2 simulated seconds, whatever the seed.
             prop_assert!(handovers >= 1, "no boundary crossing handed over");
+        }
+    }
+
+    proptest! {
+        /// Fault-injection property: across random seeds × shard counts
+        /// ∈ {1, 2, 3, 7} × faulted cells, a scheduled cell outage — set
+        /// down, RLF re-selection after the detection delay, restore —
+        /// produces a byte-identical report stream, identical RLF outcomes
+        /// and identical X2-flush deliveries on both engines.
+        #[test]
+        fn faulted_runs_are_byte_identical_across_shard_counts(
+            seed in 0u64..1_000_000,
+            shard_sel in 0usize..4,
+            outage_sel in 0u16..6,
+        ) {
+            let shards = [1usize, 2, 3, 7][shard_sel];
+            let outage = CellId(outage_sel);
+            let mut serial = CellularNetwork::new(city_config(), CellLoadProfile::none(), seed);
+            let mut sharded =
+                ShardedNetwork::new(city_config(), CellLoadProfile::none(), seed, shards);
+            populate_pair(&mut serial, &mut sharded, 1.0);
+            let mut report_a = NetworkTickReport::default();
+            let mut report_b = NetworkTickReport::default();
+            for sf in 0..1200u64 {
+                let now = Instant::from_millis(sf);
+                // Outage window [300, 800): down at 300, RLF declared after
+                // a 40 ms detection delay, service restored at 800.
+                if sf == 300 {
+                    let ra = serial.set_cell_outage(outage, true);
+                    let rb = sharded.set_cell_outage(outage, true);
+                    prop_assert_eq!(&ra, &rb, "residents diverged");
+                }
+                if sf == 800 {
+                    serial.set_cell_outage(outage, false);
+                    sharded.set_cell_outage(outage, false);
+                }
+                drive_packets(sf, |ue, id, bytes| {
+                    serial.enqueue_packet(ue, id, bytes, now);
+                    sharded.enqueue_packet(ue, id, bytes, now);
+                });
+                serial.tick_into(now, &mut report_a);
+                sharded.tick_into(now, &mut report_b);
+                if sf == 340 {
+                    let oa = serial.declare_rlf(outage, now, &mut report_a.deliveries);
+                    let ob = sharded.declare_rlf(outage, now, &mut report_b.deliveries);
+                    prop_assert_eq!(oa, ob, "RLF outcomes diverged");
+                }
+                prop_assert_eq!(
+                    serde_json::to_string(&report_a).unwrap(),
+                    serde_json::to_string(&report_b).unwrap(),
+                    "seed {}, {} shards, outage {}, subframe {}", seed, shards, outage_sel, sf
+                );
+            }
+            for ue in [UeId(1), UeId(2), UeId(3), UeId(7)] {
+                prop_assert_eq!(serial.serving_cell(ue), sharded.serving_cell(ue));
+                prop_assert_eq!(serial.queue_bits(ue), sharded.queue_bits(ue));
+            }
         }
     }
 

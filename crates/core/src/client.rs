@@ -178,6 +178,14 @@ impl PbeClient {
         self.estimate_hold
     }
 
+    /// Hold the current estimates through an externally signalled decode
+    /// outage (control channel undecodable, cell dark).  Released by the
+    /// same rule as the post-handover hold: once the primary window again
+    /// carries enough real subframes to average.
+    pub fn hold_estimates(&mut self) {
+        self.estimate_hold = true;
+    }
+
     /// Stop tracking a deactivated secondary cell.
     pub fn remove_cell(&mut self, cell: CellId) {
         self.monitor.remove_cell(cell);

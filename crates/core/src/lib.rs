@@ -55,9 +55,18 @@ pub fn register_pbe(registry: &mut SchemeRegistry) {
     });
 }
 
-/// The full default registry: the eight baselines plus PBE-CC.
+/// The full default registry: the eight baselines plus PBE-CC, plus the
+/// chaos schemes the failure-containment tests select by name (they are not
+/// baselines — sweeps only run them when a grid asks for `CHAOS_PANIC` or
+/// `CHAOS_HANG` explicitly).
 pub fn default_scheme_registry() -> SchemeRegistry {
     let mut registry = SchemeRegistry::with_baselines();
     register_pbe(&mut registry);
+    registry.register("CHAOS_PANIC", |_ctx: &SchemeCtx| {
+        Box::new(pbe_cc_algorithms::ChaosPanic::default())
+    });
+    registry.register("CHAOS_HANG", |_ctx: &SchemeCtx| {
+        Box::new(pbe_cc_algorithms::ChaosHang::default())
+    });
     registry
 }

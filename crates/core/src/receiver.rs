@@ -54,6 +54,12 @@ pub trait ReceiverAgent: Send {
     /// The sender's current smoothed RTT, for sizing averaging windows.
     fn set_rtprop_ms(&mut self, _rtprop_ms: f64) {}
 
+    /// The control channel became undecodable (deep fade, interference
+    /// burst) until `until_subframe` (exclusive).  Agents with decoder state
+    /// should treat the gap like a re-acquisition window — hold estimates
+    /// rather than read silence as an idle cell.  No-op by default.
+    fn on_decode_loss(&mut self, _until_subframe: u64) {}
+
     /// A data packet arrived at the receiver; the returned feedback (if any)
     /// is piggybacked on its acknowledgement.
     fn on_packet(&mut self, _at: Instant, _one_way_delay_ms: f64) -> Option<PbeFeedback> {
@@ -197,6 +203,17 @@ impl ReceiverAgent for PbeReceiverAgent {
         self.client.set_rtprop_ms(rtprop_ms);
     }
 
+    fn on_decode_loss(&mut self, until_subframe: u64) {
+        // Reuse the re-acquisition machinery: every decoder goes silent
+        // until the burst ends, fusion ingests nothing meanwhile, and the
+        // client rides the gap on its held estimate (the same path a
+        // handover gap exercises).
+        for decoder in self.decoders.values_mut() {
+            decoder.set_resync_until(until_subframe);
+        }
+        self.client.hold_estimates();
+    }
+
     fn on_packet(&mut self, at: Instant, one_way_delay_ms: f64) -> Option<PbeFeedback> {
         Some(self.client.on_packet(at, one_way_delay_ms))
     }
@@ -311,6 +328,43 @@ mod tests {
         // spiking to something unrelated.
         assert!(after < 0.7 * before, "after {after} vs before {before}");
         assert!(after > 20e6, "after {after}");
+    }
+
+    #[test]
+    fn decode_loss_rides_through_on_the_held_estimate() {
+        let mut agent = PbeReceiverAgent::new(&ctx());
+        for sf in 0..60u64 {
+            feed(&mut agent, sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
+        }
+        let before = agent
+            .on_packet(Instant::from_millis(60), 21.0)
+            .expect("feedback")
+            .capacity_bps();
+        // A 40-subframe decode-loss burst: the decoder sees nothing even
+        // though the cell keeps transmitting.
+        agent.on_decode_loss(100);
+        for sf in 60..100u64 {
+            feed(&mut agent, sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
+        }
+        let during = agent
+            .on_packet(Instant::from_millis(99), 21.0)
+            .expect("feedback")
+            .capacity_bps();
+        assert!(agent.client().is_holding_estimates());
+        assert!(
+            (during - before).abs() / before < 1e-9,
+            "estimate held through the burst: {before} vs {during}"
+        );
+        // Decoding resumes and the estimate becomes live again.
+        for sf in 100..160u64 {
+            feed(&mut agent, sf, &[dci(CellId(0), Rnti(0x0100), 40, sf)]);
+        }
+        assert!(!agent.client().is_holding_estimates());
+        let after = agent
+            .on_packet(Instant::from_millis(160), 21.0)
+            .expect("feedback")
+            .capacity_bps();
+        assert!(after > 1e6);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! owned by shard 0.  All of its ordering is by `(time, submission
 //! sequence)` pairs, so results are byte-identical for every shard count.
 
+use crate::faults::{FlapPolicy, LinkFlap};
 use crate::wired::LinkStats;
 use pbe_cellular::config::CellId;
 use pbe_stats::percentile;
@@ -288,6 +289,26 @@ pub struct BackhaulLinkResult {
 /// stops occupying the queue when the link finishes serialising it.
 type Departure = (Instant, u32);
 
+/// One scheduled flap window, resolved to a link index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FlapWindow {
+    link: usize,
+    start: Instant,
+    end: Instant,
+    drop: bool,
+}
+
+fn flap_on(flaps: &[FlapWindow], link: usize, at: Instant) -> Option<FlapWindow> {
+    flaps
+        .iter()
+        .find(|f| f.link == link && f.start <= at && at < f.end)
+        .copied()
+}
+
+fn path_flapped(flaps: &[FlapWindow], path: &[usize], at: Instant) -> bool {
+    path.iter().any(|&li| flap_on(flaps, li, at).is_some())
+}
+
 #[derive(Debug)]
 struct LinkState {
     rate_bps: f64,
@@ -384,6 +405,9 @@ pub struct Backhaul {
     /// nondecreasing per flow, modelling in-order (RLC-style) hand-off to
     /// the base station so a reroute cannot reorder a flow's packets.
     last_delivery: HashMap<usize, Instant>,
+    /// Scheduled link flaps, resolved to link indices (empty unless a fault
+    /// schedule installed some via [`Backhaul::set_flaps`]).
+    flaps: Vec<FlapWindow>,
     occupancy_buf: Vec<u64>,
     in_transit_packets: u64,
     in_transit_bytes: u64,
@@ -416,6 +440,7 @@ impl Backhaul {
             ready: BinaryHeap::new(),
             seq: 0,
             last_delivery: HashMap::new(),
+            flaps: Vec::new(),
             occupancy_buf: Vec::new(),
             in_transit_packets: 0,
             in_transit_bytes: 0,
@@ -428,6 +453,35 @@ impl Backhaul {
     /// The configuration this backhaul was built from.
     pub fn config(&self) -> &BackhaulConfig {
         &self.cfg
+    }
+
+    /// Install the scheduled link flaps of a fault schedule, resolving link
+    /// names to indices.  While a flap window is open the link carries
+    /// nothing: arrivals wait for the window to close ([`FlapPolicy::Drain`],
+    /// still subject to the queue limit) or are refused at admission
+    /// ([`FlapPolicy::Drop`]), and a route that crosses a flapped link at
+    /// ingress time falls back to the default path when one is configured.
+    ///
+    /// Windows only affect packets *arriving* inside them; a packet admitted
+    /// just before the flap finishes serialising undisturbed.
+    pub fn set_flaps(&mut self, flaps: &[LinkFlap]) -> Result<(), String> {
+        let mut resolved = Vec::with_capacity(flaps.len());
+        for flap in flaps {
+            let link = self
+                .cfg
+                .links
+                .iter()
+                .position(|l| l.name == flap.link)
+                .ok_or_else(|| format!("link flap references unknown link `{}`", flap.link))?;
+            resolved.push(FlapWindow {
+                link,
+                start: Instant::from_millis(flap.start_ms),
+                end: Instant::from_millis(flap.end_ms),
+                drop: flap.policy == FlapPolicy::Drop,
+            });
+        }
+        self.flaps = resolved;
+        Ok(())
     }
 
     /// Submit a packet heading for `cell`, entering the first backhaul link
@@ -477,20 +531,37 @@ impl Backhaul {
                 break;
             }
             let Reverse(entry) = self.ingress.pop().expect("non-empty");
-            let path: &[usize] = if entry.route == usize::MAX {
+            let mut path: &[usize] = if entry.route == usize::MAX {
                 self.cfg.default_path.as_deref().expect("validated")
             } else {
                 &self.cfg.routes[entry.route].path
             };
+            // Re-route around a flap: a route crossing a flapped link at
+            // ingress time falls back to the default path, provided that
+            // path is itself flap-free.  The per-flow in-order clamp below
+            // keeps the detour from reordering the flow.
+            if entry.route != usize::MAX
+                && !self.flaps.is_empty()
+                && path_flapped(&self.flaps, path, entry.ingress_at)
+            {
+                if let Some(fallback) = self.cfg.default_path.as_deref() {
+                    if !path_flapped(&self.flaps, fallback, entry.ingress_at) {
+                        path = fallback;
+                    }
+                }
+            }
             let mut at = entry.ingress_at;
             let mut upstream = Duration::ZERO;
             let mut dropped = false;
             let mut marked = false;
             for &li in path {
+                let flap = flap_on(&self.flaps, li, at);
                 let link = &mut self.links[li];
                 link.drain_walk(at);
                 let occupancy = link.walk_queued_bytes;
-                if occupancy + u64::from(entry.bytes) > link.queue_limit_bytes {
+                if flap.is_some_and(|f| f.drop)
+                    || occupancy + u64::from(entry.bytes) > link.queue_limit_bytes
+                {
                     link.stats.dropped_packets += 1;
                     link.stats.dropped_bytes += u64::from(entry.bytes);
                     report.drops.push(DropRecord {
@@ -504,7 +575,12 @@ impl Backhaul {
                     dropped = true;
                     break;
                 }
-                let start = link.link_free_at.max(at);
+                // A draining flap holds the arrival in the queue until the
+                // window closes; serialisation resumes from the flap end.
+                let start = match flap {
+                    Some(f) => link.link_free_at.max(at).max(f.end),
+                    None => link.link_free_at.max(at),
+                };
                 let queue_delay = start.saturating_since(at);
                 let departure = start + transmission_time(entry.bytes as usize, link.rate_bps);
                 link.link_free_at = departure;
@@ -907,6 +983,88 @@ mod tests {
         let mut report = BackhaulTickReport::default();
         bh.tick(ms(50), &mut report);
         assert_eq!(report.deliveries.len(), 1);
+    }
+
+    fn flap(link: &str, start_ms: u64, end_ms: u64, policy: FlapPolicy) -> LinkFlap {
+        LinkFlap {
+            link: link.into(),
+            start_ms,
+            end_ms,
+            policy,
+        }
+    }
+
+    #[test]
+    fn draining_flap_holds_arrivals_until_the_window_closes() {
+        let mut bh = Backhaul::new(one_link(None));
+        bh.set_flaps(&[flap("agg", 0, 10, FlapPolicy::Drain)])
+            .unwrap();
+        bh.submit(0, CellId(0), 1, 1500, ms(0));
+        let mut report = BackhaulTickReport::default();
+        bh.tick(ms(9), &mut report);
+        assert!(report.deliveries.is_empty(), "held through the flap");
+        // Serialisation restarts at the flap end: 10 + 1 ms + 5 ms prop.
+        bh.tick(ms(16), &mut report);
+        assert_eq!(report.deliveries.len(), 1);
+        assert_eq!(report.deliveries[0].arrive_at, ms(16));
+        assert_eq!(bh.link_stats(0).dropped_packets, 0);
+    }
+
+    #[test]
+    fn dropping_flap_refuses_arrivals_at_admission() {
+        let mut bh = Backhaul::new(one_link(None));
+        bh.set_flaps(&[flap("agg", 0, 10, FlapPolicy::Drop)])
+            .unwrap();
+        bh.submit(0, CellId(0), 1, 1500, ms(5));
+        bh.submit(0, CellId(0), 2, 1500, ms(10));
+        let mut report = BackhaulTickReport::default();
+        bh.tick(ms(50), &mut report);
+        // Packet 1 arrived inside the window and was refused; packet 2
+        // arrived exactly at the (exclusive) end and crossed normally.
+        assert_eq!(report.drops.len(), 1);
+        assert_eq!(report.drops[0].packet_id, 1);
+        let ids: Vec<u64> = report.deliveries.iter().map(|d| d.packet_id).collect();
+        assert_eq!(ids, vec![2]);
+        assert_eq!(bh.dropped_bytes(), 1_500);
+    }
+
+    #[test]
+    fn flapped_route_falls_back_to_the_default_path() {
+        let cfg = BackhaulConfig {
+            links: vec![
+                BackhaulLinkSpec::new("main", 12e6, Duration::from_millis(5), 1_000_000),
+                BackhaulLinkSpec::new("backup", 12e6, Duration::from_millis(20), 1_000_000),
+            ],
+            routes: vec![BackhaulRoute {
+                cell: CellId(0),
+                path: vec![0],
+            }],
+            default_path: Some(vec![1]),
+        };
+        let mut bh = Backhaul::new(cfg);
+        bh.set_flaps(&[flap("main", 0, 100, FlapPolicy::Drain)])
+            .unwrap();
+        bh.submit(0, CellId(0), 1, 1500, ms(0));
+        bh.submit(0, CellId(0), 2, 1500, ms(150));
+        let mut report = BackhaulTickReport::default();
+        bh.tick(ms(200), &mut report);
+        let ids: Vec<u64> = report.deliveries.iter().map(|d| d.packet_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        // Packet 1 detoured over the backup link (1 ms + 20 ms prop);
+        // packet 2, after the flap, used the main path again.
+        assert_eq!(report.deliveries[0].arrive_at, ms(21));
+        assert_eq!(report.deliveries[1].arrive_at, ms(156));
+        assert_eq!(bh.link_stats(1).admitted_packets, 1);
+        assert_eq!(bh.link_stats(0).admitted_packets, 1);
+    }
+
+    #[test]
+    fn set_flaps_rejects_unknown_link_names() {
+        let mut bh = Backhaul::new(one_link(None));
+        let err = bh
+            .set_flaps(&[flap("no-such-link", 0, 10, FlapPolicy::Drain)])
+            .unwrap_err();
+        assert!(err.contains("no-such-link"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! [`Observer`].
 
 use crate::backhaul::BackhaulConfig;
+use crate::faults::FaultSchedule;
 use crate::flow::FlowConfig;
 use crate::observer::Observer;
 use crate::scheme::SchemeTable;
@@ -50,6 +51,7 @@ pub struct SimBuilder {
     trajectories: Vec<CellTrajectory>,
     shards: Option<usize>,
     backhaul: Option<BackhaulConfig>,
+    faults: Option<FaultSchedule>,
     table: SchemeTable,
     observers: Vec<Box<dyn Observer>>,
 }
@@ -74,6 +76,7 @@ impl SimBuilder {
             trajectories: Vec::new(),
             shards: None,
             backhaul: None,
+            faults: None,
             table: SchemeTable::standard(),
             observers: Vec::new(),
         }
@@ -92,6 +95,7 @@ impl SimBuilder {
             trajectories: config.trajectories,
             shards: config.shards,
             backhaul: config.backhaul,
+            faults: config.faults,
             table: SchemeTable::standard(),
             observers: Vec::new(),
         }
@@ -153,6 +157,13 @@ impl SimBuilder {
         self
     }
 
+    /// Inject a deterministic fault schedule (cell outages, link flaps,
+    /// decode-loss bursts; see [`SimConfig::faults`]).
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Replace the whole scheme table (rarely needed; prefer
     /// [`SimBuilder::scheme`]).
     pub fn scheme_table(mut self, table: SchemeTable) -> Self {
@@ -195,6 +206,7 @@ impl SimBuilder {
             trajectories: self.trajectories.clone(),
             shards: self.shards,
             backhaul: self.backhaul.clone(),
+            faults: self.faults.clone(),
         }
     }
 
@@ -210,6 +222,7 @@ impl SimBuilder {
             trajectories: self.trajectories,
             shards: self.shards,
             backhaul: self.backhaul,
+            faults: self.faults,
         };
         Simulation::with_parts(config, self.table, self.observers)
     }

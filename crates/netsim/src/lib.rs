@@ -62,6 +62,7 @@
 
 pub mod backhaul;
 pub mod builder;
+pub mod faults;
 pub mod flow;
 pub mod metrics;
 pub mod observer;
@@ -72,6 +73,10 @@ pub mod wired;
 
 pub use backhaul::{Backhaul, BackhaulConfig, BackhaulLinkResult, BackhaulLinkSpec, BackhaulRoute};
 pub use builder::SimBuilder;
+pub use faults::{
+    CellOutage, DecodeLossBurst, FaultKind, FaultRecoveryRecord, FaultSchedule, FlapPolicy,
+    LinkFlap,
+};
 pub use flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
 pub use observer::{Observer, SimEvent};
 pub use pbe_cellular::handover::HandoverEvent;

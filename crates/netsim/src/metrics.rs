@@ -8,6 +8,7 @@
 //! observers beside it.
 
 use crate::backhaul::BackhaulLinkResult;
+use crate::faults::{FaultKind, FaultRecoveryRecord};
 use crate::flow::{FlowConfig, FlowResult};
 use crate::observer::{Observer, SimEvent};
 use crate::sim::{PrbInterval, SimResult};
@@ -16,6 +17,46 @@ use pbe_cellular::config::{CellId, UeId};
 use pbe_cellular::handover::HandoverEvent;
 use pbe_stats::summary::FlowSummaryBuilder;
 use std::collections::HashMap;
+
+/// One fault whose window is still open: recovery metrics accumulate here
+/// until the matching end event (or the end of the run) closes it.
+struct OpenFault {
+    kind: FaultKind,
+    target: String,
+    start_ms: u64,
+    /// Known up front only for decode-loss bursts (their end rides on the
+    /// start event); outages and flaps close on their end events.
+    end_ms: Option<u64>,
+    affected_ues: Vec<u32>,
+    reconnect_ms: Vec<(u32, u64)>,
+    packets_stranded: u64,
+    /// Restrict estimate-error accounting to one flow (decode loss); `None`
+    /// accumulates over every flow.
+    flow_filter: Option<u32>,
+    /// Last capacity estimate per flow just before the fault hit.
+    baseline: HashMap<u32, f64>,
+    err_sum: f64,
+    err_count: u64,
+}
+
+impl OpenFault {
+    fn close(self, end_ms: u64) -> FaultRecoveryRecord {
+        FaultRecoveryRecord {
+            kind: self.kind,
+            target: self.target,
+            start_ms: self.start_ms,
+            end_ms: self.end_ms.unwrap_or(end_ms),
+            affected_ues: self.affected_ues,
+            reconnect_ms: self.reconnect_ms,
+            packets_stranded: self.packets_stranded,
+            estimate_error: if self.err_count > 0 {
+                self.err_sum / self.err_count as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
 
 struct FlowMetrics {
     id: u32,
@@ -46,6 +87,12 @@ pub struct MetricsCollector {
     /// Samples taken since the last window closed (0 = nothing to flush).
     bh_samples_since_close: u64,
     bh_links: Vec<BackhaulLinkResult>,
+    /// Last capacity estimate seen per flow (baseline for fault error).
+    last_capacity: HashMap<u32, f64>,
+    open_faults: Vec<OpenFault>,
+    fault_records: Vec<FaultRecoveryRecord>,
+    /// Newest subframe time seen, for closing still-open faults at the end.
+    last_subframe_ms: u64,
 }
 
 impl MetricsCollector {
@@ -82,6 +129,39 @@ impl MetricsCollector {
             bh_accum: Vec::new(),
             bh_samples_since_close: 0,
             bh_links: Vec::new(),
+            last_capacity: HashMap::new(),
+            open_faults: Vec::new(),
+            fault_records: Vec::new(),
+            last_subframe_ms: 0,
+        }
+    }
+
+    fn open_fault(&mut self, kind: FaultKind, target: String, start_ms: u64) -> &mut OpenFault {
+        self.open_faults.push(OpenFault {
+            kind,
+            target,
+            start_ms,
+            end_ms: None,
+            affected_ues: Vec::new(),
+            reconnect_ms: Vec::new(),
+            packets_stranded: 0,
+            flow_filter: None,
+            baseline: self.last_capacity.clone(),
+            err_sum: 0.0,
+            err_count: 0,
+        });
+        self.open_faults.last_mut().expect("just pushed")
+    }
+
+    /// Close the newest open fault matching `kind` and `target`.
+    fn close_fault(&mut self, kind: FaultKind, target: &str, end_ms: u64) {
+        if let Some(pos) = self
+            .open_faults
+            .iter()
+            .rposition(|f| f.kind == kind && f.target == target)
+        {
+            let fault = self.open_faults.remove(pos);
+            self.fault_records.push(fault.close(end_ms));
         }
     }
 
@@ -122,12 +202,18 @@ impl MetricsCollector {
                 result.queue_timeline_bytes = windows.clone();
             }
         }
+        // Faults still open when the run ends close at the final subframe.
+        let end_ms = self.last_subframe_ms + 1;
+        for fault in self.open_faults.drain(..) {
+            self.fault_records.push(fault.close(end_ms));
+        }
         SimResult {
             flows,
             primary_prb_timeline: self.prb_timeline,
             ca_events: self.ca_events,
             handovers: self.handovers,
             backhaul_links: self.bh_links,
+            fault_recovery: self.fault_records,
         }
     }
 }
@@ -178,6 +264,18 @@ impl Observer for MetricsCollector {
                     }
                 }
                 let t_ms = now.as_millis();
+                self.last_subframe_ms = self.last_subframe_ms.max(t_ms);
+                // Decode-loss bursts know their end up front and close on
+                // the subframe clock.
+                while let Some(pos) = self
+                    .open_faults
+                    .iter()
+                    .position(|f| f.end_ms.is_some_and(|end| t_ms >= end))
+                {
+                    let fault = self.open_faults.remove(pos);
+                    let end = fault.end_ms.expect("checked");
+                    self.fault_records.push(fault.close(end));
+                }
                 if (t_ms + 1) % 100 == 0 {
                     let mut per_ue = HashMap::new();
                     for (flow_id, total) in self.prb_accum.drain() {
@@ -251,8 +349,77 @@ impl Observer for MetricsCollector {
                     queue_timeline_bytes: Vec::new(),
                 });
             }
+            SimEvent::CapacityEstimated { flow, feedback, .. } => {
+                let cap = feedback.capacity_bps();
+                if cap.is_finite() {
+                    for f in &mut self.open_faults {
+                        if f.flow_filter.is_some_and(|only| only != *flow) {
+                            continue;
+                        }
+                        if let Some(&base) = f.baseline.get(flow) {
+                            if base > 0.0 {
+                                f.err_sum += (cap - base).abs() / base;
+                                f.err_count += 1;
+                            }
+                        }
+                    }
+                    self.last_capacity.insert(*flow, cap);
+                }
+            }
+            SimEvent::FaultCellOutage {
+                cell,
+                at,
+                down,
+                residents,
+            } => {
+                let target = format!("cell-{}", cell.0);
+                if *down {
+                    let fault = self.open_fault(FaultKind::CellOutage, target, at.as_millis());
+                    fault.affected_ues = residents.iter().map(|u| u.0).collect();
+                } else {
+                    self.close_fault(FaultKind::CellOutage, &target, at.as_millis());
+                }
+            }
+            SimEvent::FaultRlf {
+                cell,
+                at,
+                reconnected,
+                stranded_packets,
+                ..
+            } => {
+                let target = format!("cell-{}", cell.0);
+                let at_ms = at.as_millis();
+                if let Some(fault) = self
+                    .open_faults
+                    .iter_mut()
+                    .rev()
+                    .find(|f| f.kind == FaultKind::CellOutage && f.target == target)
+                {
+                    for (ue, _to) in reconnected.iter() {
+                        fault
+                            .reconnect_ms
+                            .push((ue.0, at_ms.saturating_sub(fault.start_ms)));
+                    }
+                    fault.packets_stranded += stranded_packets;
+                }
+            }
+            SimEvent::FaultLinkFlap { name, at, down } => {
+                if *down {
+                    self.open_fault(FaultKind::LinkFlap, (*name).to_string(), at.as_millis());
+                } else {
+                    self.close_fault(FaultKind::LinkFlap, name, at.as_millis());
+                }
+            }
+            SimEvent::FaultDecodeLoss { flow, at, until_ms } => {
+                let fault = self.open_fault(
+                    FaultKind::DecodeLoss,
+                    format!("flow-{flow}"),
+                    at.as_millis(),
+                );
+                fault.end_ms = Some(*until_ms);
+                fault.flow_filter = Some(*flow);
+            }
             SimEvent::AckProcessed { .. }
-            | SimEvent::CapacityEstimated { .. }
             | SimEvent::StateChanged { .. }
             | SimEvent::BackhaulMark { .. }
             | SimEvent::BackhaulDrop { .. } => {}

@@ -142,6 +142,55 @@ pub enum SimEvent<'a> {
         /// 95th-percentile per-packet queueing delay, milliseconds.
         p95_queue_delay_ms: f64,
     },
+    /// A scheduled cell outage started or ended (only emitted when
+    /// [`SimConfig::faults`](crate::sim::SimConfig) schedules one).
+    FaultCellOutage {
+        /// The cell going dark (or coming back).
+        cell: CellId,
+        /// When the transition happened.
+        at: Instant,
+        /// True at the outage start, false at the end.
+        down: bool,
+        /// UEs whose primary serving cell was the faulted cell at the
+        /// transition (empty at outage end).
+        residents: &'a [UeId],
+    },
+    /// Resident UEs of a dark cell declared radio-link failure and
+    /// re-selected (or failed to).
+    FaultRlf {
+        /// The cell the UEs abandoned.
+        cell: CellId,
+        /// When RLF was declared (outage start + detection delay).
+        at: Instant,
+        /// UEs that found a live configured cell, with their new serving
+        /// cell, in UE order.
+        reconnected: &'a [(UeId, CellId)],
+        /// UEs with no live configured cell to fall back to; they stay
+        /// attached and wait for service to return.
+        stranded_ues: &'a [UeId],
+        /// Downlink packets left queued at the dark cell by UEs that could
+        /// not re-select.
+        stranded_packets: u64,
+    },
+    /// A scheduled backhaul link flap started or ended.
+    FaultLinkFlap {
+        /// Name of the flapped link.
+        name: &'a str,
+        /// When the transition happened.
+        at: Instant,
+        /// True at the flap start, false at the end.
+        down: bool,
+    },
+    /// A scheduled control-channel decode-loss burst started: the flow's
+    /// PDCCH pipeline decodes nothing until `until_ms`.
+    FaultDecodeLoss {
+        /// The affected flow.
+        flow: u32,
+        /// Burst start.
+        at: Instant,
+        /// First millisecond after the burst (exclusive).
+        until_ms: u64,
+    },
     /// A flow reached the end of the simulation; final sender-side stats.
     FlowClosed {
         /// Flow id.

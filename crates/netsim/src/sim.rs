@@ -10,6 +10,7 @@
 //! [`MetricsCollector`] listening to that same stream.
 
 use crate::backhaul::{Backhaul, BackhaulConfig, BackhaulLinkResult, BackhaulTickReport};
+use crate::faults::{FaultRecoveryRecord, FaultSchedule};
 use crate::flow::{AppModel, FlowConfig, FlowResult, SchemeChoice};
 use crate::metrics::MetricsCollector;
 use crate::observer::{Observer, SimEvent};
@@ -24,7 +25,7 @@ use pbe_cellular::carrier::CaEvent;
 use pbe_cellular::channel::MobilityTrace;
 use pbe_cellular::config::{CellId, CellularConfig, UeConfig, UeId};
 use pbe_cellular::handover::HandoverEvent;
-use pbe_cellular::network::{CellularNetwork, NetworkTickReport};
+use pbe_cellular::network::{CellularNetwork, Delivery, NetworkTickReport, RlfOutcome};
 use pbe_cellular::shard::ShardedNetwork;
 use pbe_cellular::traffic::CellLoadProfile;
 use pbe_core::receiver::{ReceiverAgent, ReceiverCtx};
@@ -76,6 +77,14 @@ pub struct SimConfig {
     /// every shard count.
     #[serde(default)]
     pub backhaul: Option<BackhaulConfig>,
+    /// Deterministic fault schedule: cell outages, backhaul link flaps and
+    /// control-channel decode-loss bursts, all keyed purely by simulated
+    /// time.  `None` (the default, and what every pre-fault configuration
+    /// JSON loads as) injects nothing; a schedule is applied identically by
+    /// the serial and sharded engines, so faulted runs stay byte-identical
+    /// across shard counts.
+    #[serde(default)]
+    pub faults: Option<FaultSchedule>,
 }
 
 /// The radio access network behind one simulation: the serial engine, or
@@ -156,6 +165,25 @@ impl Ran {
             Ran::Sharded(n) => n.carrier_aggregation_triggered(ue),
         }
     }
+
+    fn set_cell_outage(&mut self, cell: CellId, down: bool) -> Vec<UeId> {
+        match self {
+            Ran::Serial(n) => n.set_cell_outage(cell, down),
+            Ran::Sharded(n) => n.set_cell_outage(cell, down),
+        }
+    }
+
+    fn declare_rlf(
+        &mut self,
+        cell: CellId,
+        now: Instant,
+        deliveries: &mut Vec<Delivery>,
+    ) -> RlfOutcome {
+        match self {
+            Ran::Serial(n) => n.declare_rlf(cell, now, deliveries),
+            Ran::Sharded(n) => n.declare_rlf(cell, now, deliveries),
+        }
+    }
 }
 
 /// One per-cell trajectory override of [`SimConfig::trajectories`].
@@ -191,6 +219,7 @@ impl SimConfig {
             trajectories: Vec::new(),
             shards: None,
             backhaul: None,
+            faults: None,
         }
     }
 }
@@ -237,6 +266,10 @@ pub struct SimResult {
     /// backhaul topology was configured).
     #[serde(default)]
     pub backhaul_links: Vec<BackhaulLinkResult>,
+    /// Recovery metrics of every injected fault, in fault-closure order
+    /// (empty when [`SimConfig::faults`] schedules nothing).
+    #[serde(default)]
+    pub fault_recovery: Vec<FaultRecoveryRecord>,
 }
 
 impl SimResult {
@@ -442,6 +475,25 @@ impl Simulation {
         // signals in flight back towards the senders.
         let mut backhaul = cfg.backhaul.clone().map(Backhaul::new);
         let mut bh_report = BackhaulTickReport::default();
+
+        // Fault schedule: validated up front; link flaps install on the
+        // backhaul, outage and decode-loss boundaries are applied by this
+        // loop at their scheduled subframes.  Everything is keyed by
+        // configuration and simulated time only, so a faulted run stays
+        // byte-identical across shard counts.
+        let faults = cfg.faults.clone().unwrap_or_default();
+        if let Err(e) = faults.validate() {
+            panic!("invalid fault schedule: {e}");
+        }
+        if !faults.link_flaps.is_empty() {
+            let bh = backhaul
+                .as_mut()
+                .expect("link flaps require a backhaul topology");
+            if let Err(e) = bh.set_flaps(&faults.link_flaps) {
+                panic!("invalid fault schedule: {e}");
+            }
+        }
+        let rlf_detection_ms = faults.rlf_detection();
         let mut serving_cell: Vec<CellId> = cfg
             .flows
             .iter()
@@ -467,6 +519,85 @@ impl Simulation {
         let total_ms = cfg.duration.as_millis();
         for t_ms in 0..total_ms {
             let now = Instant::from_millis(t_ms);
+
+            // 0a. Scheduled fault boundaries crossing this subframe.
+            if !faults.is_empty() {
+                for o in &faults.cell_outages {
+                    if o.start_ms == t_ms {
+                        let residents = net.set_cell_outage(o.cell, true);
+                        emit(
+                            observers,
+                            &mut metrics,
+                            SimEvent::FaultCellOutage {
+                                cell: o.cell,
+                                at: now,
+                                down: true,
+                                residents: &residents,
+                            },
+                        );
+                    }
+                    // Overlapping windows on one cell: the cell only comes
+                    // back once no window covers this subframe.
+                    if o.end_ms == t_ms && !faults.cell_is_down(o.cell, t_ms) {
+                        net.set_cell_outage(o.cell, false);
+                        emit(
+                            observers,
+                            &mut metrics,
+                            SimEvent::FaultCellOutage {
+                                cell: o.cell,
+                                at: now,
+                                down: false,
+                                residents: &[],
+                            },
+                        );
+                    }
+                }
+                for f in &faults.link_flaps {
+                    // Behaviour lives in the backhaul (flaps were installed
+                    // up front); the boundaries are narrated for observers
+                    // and the recovery metrics.
+                    if f.start_ms == t_ms {
+                        emit(
+                            observers,
+                            &mut metrics,
+                            SimEvent::FaultLinkFlap {
+                                name: &f.link,
+                                at: now,
+                                down: true,
+                            },
+                        );
+                    }
+                    if f.end_ms == t_ms {
+                        emit(
+                            observers,
+                            &mut metrics,
+                            SimEvent::FaultLinkFlap {
+                                name: &f.link,
+                                at: now,
+                                down: false,
+                            },
+                        );
+                    }
+                }
+                for d in &faults.decode_loss {
+                    if d.start_ms == t_ms {
+                        for flow in flows.iter_mut() {
+                            if flow.config.id == d.flow {
+                                flow.receiver.on_decode_loss(d.end_ms);
+                            }
+                        }
+                        emit(
+                            observers,
+                            &mut metrics,
+                            SimEvent::FaultDecodeLoss {
+                                flow: d.flow,
+                                at: now,
+                                until_ms: d.end_ms,
+                            },
+                        );
+                    }
+                }
+            }
 
             // 0. Near-source congestion signals reach their senders (they
             //    undercut the ACK clock, so they are delivered first).
@@ -709,6 +840,31 @@ impl Simulation {
 
             // 4. The radio access network advances one subframe.
             net.tick_into(now, &mut report);
+
+            // 4b. Radio-link failure: residents of a cell that has been dark
+            //     for the detection delay abandon it through the ordinary
+            //     handover machinery.  The resulting events join the report
+            //     before it is narrated, so receiver re-targeting, backhaul
+            //     re-routing and metrics all see them like any A3 handover.
+            for o in &faults.cell_outages {
+                if t_ms == o.start_ms + rlf_detection_ms && faults.cell_is_down(o.cell, t_ms) {
+                    let outcome = net.declare_rlf(o.cell, now, &mut report.deliveries);
+                    let reconnected: Vec<(UeId, CellId)> =
+                        outcome.events.iter().map(|e| (e.ue, e.to)).collect();
+                    emit(
+                        observers,
+                        &mut metrics,
+                        SimEvent::FaultRlf {
+                            cell: o.cell,
+                            at: now,
+                            reconnected: &reconnected,
+                            stranded_ues: &outcome.stayed,
+                            stranded_packets: outcome.stranded_packets,
+                        },
+                    );
+                    report.handovers.extend(outcome.events);
+                }
+            }
             emit(
                 observers,
                 &mut metrics,
@@ -1018,6 +1174,7 @@ mod tests {
             trajectories: Vec::new(),
             shards: None,
             backhaul: None,
+            faults: None,
         };
         let result = Simulation::new(cfg).run();
         let a = result.flows[0].summary.avg_throughput_mbps;
@@ -1087,6 +1244,163 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn faulted_simulation_is_byte_identical_across_shard_counts() {
+        // Fault injection is config/time-derived and applied in the
+        // single-threaded driver, so a faulted run — a cell outage with RLF
+        // re-selection, a drained link flap and a decode-loss burst — must
+        // serialise identically whatever the shard count.
+        use crate::faults::{CellOutage, DecodeLossBurst, FaultKind, FlapPolicy, LinkFlap};
+        for seed in [13u64, 29] {
+            let mut cfg = SimConfig::single_flow(
+                SchemeChoice::Pbe,
+                Duration::from_secs(3),
+                CellLoadProfile::busy(),
+                seed,
+            );
+            cfg.backhaul = Some(BackhaulConfig::shared_aggregation(
+                &[CellId(0), CellId(1), CellId(2)],
+                BackhaulLinkSpec::new("agg", 40e6, Duration::from_millis(2), 150_000)
+                    .with_mark_threshold(45_000),
+                |cell| {
+                    BackhaulLinkSpec::new(
+                        format!("cell-{}", cell.0),
+                        100e6,
+                        Duration::from_millis(1),
+                        300_000,
+                    )
+                },
+            ));
+            cfg.faults = Some(FaultSchedule {
+                cell_outages: vec![CellOutage {
+                    cell: CellId(0),
+                    start_ms: 500,
+                    end_ms: 1_500,
+                }],
+                link_flaps: vec![LinkFlap {
+                    link: "agg".to_string(),
+                    start_ms: 2_000,
+                    end_ms: 2_120,
+                    policy: FlapPolicy::Drain,
+                }],
+                decode_loss: vec![DecodeLossBurst {
+                    flow: 1,
+                    start_ms: 2_400,
+                    end_ms: 2_480,
+                }],
+                rlf_detection_ms: None,
+            });
+            let serial_result = Simulation::new(cfg.clone()).run();
+            assert_eq!(
+                serial_result.fault_recovery.len(),
+                3,
+                "every injected fault produces a recovery record (seed {seed})"
+            );
+            assert!(
+                serial_result
+                    .fault_recovery
+                    .iter()
+                    .any(|r| r.kind == FaultKind::CellOutage && !r.reconnect_ms.is_empty()),
+                "the outage triggered an RLF re-selection (seed {seed})"
+            );
+            let serial = serde_json::to_string(&serial_result).unwrap();
+            for shards in [1usize, 2, 3, 7] {
+                let mut sharded_cfg = cfg.clone();
+                sharded_cfg.shards = Some(shards);
+                let sharded = serde_json::to_string(&Simulation::new(sharded_cfg).run()).unwrap();
+                assert_eq!(
+                    serial, sharded,
+                    "{shards} shards diverged from serial (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pbe_reconverges_within_gap_plus_fill_after_an_injected_rlf() {
+        // After an injected RLF the PBE receiver re-targets the decoders
+        // and holds its estimate through the reacquisition gap; once the
+        // primary window refills (at most 8 real subframes) the estimate
+        // must reflect the *new* serving cell.  Cell 0 is 20 MHz and the
+        // re-selection targets a 10 MHz cell, so convergence is visible as
+        // a large capacity drop.
+        use crate::builder::SimBuilder;
+        use crate::faults::{CellOutage, FaultKind, FaultSchedule};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut cfg = SimConfig::single_flow(
+            SchemeChoice::Pbe,
+            Duration::from_secs(4),
+            CellLoadProfile::none(),
+            7,
+        );
+        cfg.faults = Some(FaultSchedule {
+            cell_outages: vec![CellOutage {
+                cell: CellId(0),
+                start_ms: 2_000,
+                end_ms: 4_000,
+            }],
+            ..FaultSchedule::none()
+        });
+        let detection = cfg.faults.as_ref().unwrap().rlf_detection();
+        let rlf_ms = 2_000 + detection;
+        let gap = cfg.cellular.handover.reacquisition_gap_ms;
+        let fill = 8; // primary-window refill bound: window_subframes.clamp(1, 8)
+        let deadline = rlf_ms + gap + fill;
+
+        let estimates: Rc<RefCell<Vec<(u64, f64)>>> = Rc::default();
+        let sink = estimates.clone();
+        let result = SimBuilder::from_config(cfg)
+            .observe(move |event: &SimEvent<'_>| {
+                if let SimEvent::CapacityEstimated { at, feedback, .. } = event {
+                    sink.borrow_mut()
+                        .push((at.as_millis(), feedback.capacity_bps()));
+                }
+            })
+            .run();
+
+        let rec = result
+            .fault_recovery
+            .iter()
+            .find(|r| r.kind == FaultKind::CellOutage)
+            .expect("the outage produced a recovery record");
+        assert_eq!(rec.affected_ues, vec![1], "the single UE was resident");
+        assert_eq!(
+            rec.reconnect_ms,
+            vec![(1, detection)],
+            "the UE reconnected at the RLF detection deadline"
+        );
+
+        let est = estimates.borrow();
+        let held = est
+            .iter()
+            .rev()
+            .find(|(t, _)| *t <= rlf_ms)
+            .map(|(_, c)| *c)
+            .expect("estimates exist before the RLF");
+        assert!(
+            est.iter().any(|(t, _)| *t > rlf_ms && *t <= deadline),
+            "feedback kept flowing on the held estimate during the gap"
+        );
+        // Allow a short packet-clocked slack after the refill deadline: the
+        // first post-release estimate rides on the next delivered packet.
+        let post = est
+            .iter()
+            .filter(|(t, _)| *t > deadline && *t <= deadline + 60)
+            .map(|(_, c)| *c)
+            .collect::<Vec<_>>();
+        let converged = post
+            .last()
+            .copied()
+            .expect("estimates resumed after the refill deadline");
+        assert!(
+            converged < 0.75 * held,
+            "estimate re-converged to the 10 MHz cell within gap + fill: \
+             held {held:.0} bit/s vs converged {converged:.0} bit/s"
+        );
     }
 
     #[test]

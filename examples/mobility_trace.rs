@@ -29,6 +29,7 @@ fn main() {
         trajectories: Vec::new(),
         shards: None,
         backhaul: None,
+        faults: None,
     };
     let result = Simulation::new(config).run();
     let flow = &result.flows[0];

@@ -123,6 +123,7 @@ fn pbe_detects_an_internet_bottleneck_and_bounds_its_delay() {
         trajectories: Vec::new(),
         shards: None,
         backhaul: None,
+        faults: None,
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
@@ -172,6 +173,7 @@ fn two_pbe_flows_with_different_rtts_share_prbs_fairly() {
         trajectories: Vec::new(),
         shards: None,
         backhaul: None,
+        faults: None,
     };
     let result = Simulation::new(cfg).run();
     // Jain's index over the primary-cell PRBs in the second half of the run
@@ -302,6 +304,7 @@ fn mobility_walk_keeps_pbe_delay_bounded() {
         trajectories: Vec::new(),
         shards: None,
         backhaul: None,
+        faults: None,
     };
     let result = Simulation::new(cfg).run();
     let flow = &result.flows[0];
